@@ -1,0 +1,74 @@
+// Command flexsim regenerates the paper's evaluation artifacts. Each
+// experiment (e1…e12, see DESIGN.md §3) prints a table; `all` runs the
+// full suite — `flexsim -md all` produces the Markdown tables embedded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	flexsim [-quick] [-md] [-csv] <experiment|all|list>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "fewer trials (CI mode); published numbers use full mode")
+	md := flag.Bool("md", false, "render GitHub Markdown")
+	csv := flag.Bool("csv", false, "render CSV")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] <experiment|all|list>\n\nexperiments:\n")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+
+	render := func(t *metrics.Table) {
+		switch {
+		case *md:
+			fmt.Println(t.RenderMarkdown())
+		case *csv:
+			fmt.Print(t.RenderCSV())
+		default:
+			fmt.Println(t.Render())
+		}
+	}
+
+	switch arg := flag.Arg(0); arg {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case "all":
+		for _, e := range experiments.All() {
+			start := time.Now()
+			fmt.Fprintf(os.Stderr, "running %s: %s…\n", e.ID, e.Title)
+			render(e.Run(*quick))
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		e := experiments.Find(arg)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", arg)
+			flag.Usage()
+			return 2
+		}
+		render(e.Run(*quick))
+	}
+	return 0
+}

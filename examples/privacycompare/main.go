@@ -1,0 +1,77 @@
+// Privacy comparison: run the same broadcast under plain flooding,
+// Dandelion, and the three-phase protocol against a 20% botnet-style
+// observer, and report how often the adversary unmasks the originator —
+// the experiment behind Fig. 1's landscape.
+//
+//	go run ./examples/privacycompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/flexnet"
+)
+
+func main() {
+	const (
+		n      = 500
+		trials = 15
+		f      = 0.2 // adversary controls 20% of nodes
+	)
+	fmt.Printf("adversary: passive observer controlling %.0f%% of %d nodes, %d trials each\n\n", f*100, n, trials)
+	fmt.Printf("%-12s %-10s %-14s %-12s %s\n", "protocol", "privacy", "P(deanon)", "messages", "notes")
+
+	type row struct {
+		proto flexnet.Protocol
+		k     int
+		notes string
+	}
+	rows := []row{
+		{flexnet.ProtocolFlood, 0, "symmetric broadcast: first-spy wins"},
+		{flexnet.ProtocolDandelion, 0, "stem defeats first-spy at low f"},
+		{flexnet.ProtocolFlexnet, 5, "k-anonymity floor: P <= 1/honest-group"},
+		{flexnet.ProtocolFlexnet, 10, "larger k: stronger floor, higher cost"},
+	}
+	for _, r := range rows {
+		var hits float64
+		var msgs int64
+		for trial := 0; trial < trials; trial++ {
+			res, err := flexnet.Simulate(flexnet.SimConfig{
+				N: n, Degree: 8,
+				Protocol:          r.proto,
+				K:                 r.k,
+				D:                 4,
+				Seed:              uint64(trial + 1),
+				AdversaryFraction: f,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			msgs += res.TotalMessages
+			if r.proto == flexnet.ProtocolFlexnet {
+				if res.GroupAttackHit && res.GroupSuspectSet > 0 {
+					hits += 1 / float64(res.GroupSuspectSet)
+				}
+			} else if res.FirstSpyCorrect {
+				hits++
+			}
+		}
+		label := r.proto.String()
+		if r.k > 0 {
+			label = fmt.Sprintf("%s k=%d", label, r.k)
+		}
+		privacy := "none"
+		switch {
+		case r.proto == flexnet.ProtocolDandelion:
+			privacy = "statistical"
+		case r.proto == flexnet.ProtocolFlexnet:
+			privacy = "crypto+stat"
+		}
+		fmt.Printf("%-12s %-10s %-14.3f %-12d %s\n",
+			label, privacy, hits/float64(trials), msgs/int64(trials), r.notes)
+	}
+	fmt.Println("\nP(deanon) for flexnet is the adversary's expected success against the")
+	fmt.Println("worst case (group composition known): 1/|honest group| when it contains")
+	fmt.Println("the originator — the paper's adjustable lower bound on privacy.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: broadcast one transaction anonymously over a simulated
+// 1,000-peer overlay — the paper's §V-A setting — and print what it
+// cost, phase by phase.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/flexnet"
+)
+
+func main() {
+	res, err := flexnet.Simulate(flexnet.SimConfig{
+		N:      1000, // peers
+		Degree: 8,    // random 8-regular overlay, as in the paper's simulation
+		K:      5,    // anonymity parameter: group size in [5, 9]
+		D:      4,    // adaptive-diffusion rounds
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("flexnet quickstart — one anonymous broadcast, three phases")
+	fmt.Printf("  network:   %d peers, originator %d, DC-net group of %d\n",
+		res.N, res.Originator, res.GroupSize)
+	fmt.Printf("  delivered: %d/%d nodes in %v (guaranteed by Phase 3)\n",
+		res.Delivered, res.N, res.TimeToCoverage)
+	fmt.Println("  cost:")
+	fmt.Printf("    phase 1 (dc-net):             %6d messages\n", res.PhaseMessages["dcnet"])
+	fmt.Printf("    phase 2 (adaptive diffusion): %6d messages\n", res.PhaseMessages["adaptive"])
+	fmt.Printf("    phase 3 (flood-and-prune):    %6d messages\n", res.PhaseMessages["flood"])
+	fmt.Printf("    total:                        %6d messages\n", res.TotalMessages)
+	fmt.Println()
+	fmt.Println("compare: plain flooding uses ~7,000 messages but exposes the")
+	fmt.Println("originator to timing attacks; run ./examples/privacycompare.")
+}

@@ -1,0 +1,89 @@
+package flexnet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/dandelion"
+	"repro/internal/dcnet"
+	"repro/internal/flood"
+	"repro/internal/group"
+	"repro/internal/node"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// TestEveryMessageRoundTripsThroughCodec marshals and unmarshals one
+// populated sample of every message type a node can put on the wire and
+// requires structural equality — the cheap end-to-end check that no
+// EncodeTo/DecodeFrom pair is asymmetric.
+func TestEveryMessageRoundTripsThroughCodec(t *testing.T) {
+	codec := NewCodec()
+	id := proto.NewMsgID([]byte("sample"))
+
+	samples := []wire.Encodable{
+		&flood.DataMsg{ID: id, Hops: 3, Payload: []byte("payload")},
+		&adaptive.InfectMsg{ID: id, TTL: 2, Round: 7, Payload: []byte("x")},
+		&adaptive.ExtendMsg{ID: id, Depth: 2, Round: 9},
+		&adaptive.TokenMsg{ID: id, Round: 4, H: 2},
+		&adaptive.FinalMsg{ID: id, Round: 5},
+		&dcnet.ShareMsg{Round: 12, Data: []byte{1, 2, 3, 4}},
+		&dcnet.SPartialMsg{Round: 12, Data: []byte{5, 6}},
+		&dcnet.TPartialMsg{Round: 12, Data: []byte{7}},
+		&dcnet.CommitMsg{Round: 12, Digests: [][32]byte{{1}, {2}}},
+		&dcnet.RevealMsg{Round: 12, Shares: [][]byte{{1}, {2, 3}}, Salts: [][]byte{{9}, {8}}},
+		&dandelion.StemMsg{ID: id, Payload: []byte("stem")},
+		&group.JoinReq{},
+		&group.LeaveReq{},
+		&group.ViewUpdate{View: 3, Group: 2, Members: []proto.NodeID{1, 5, 9}},
+		&group.ViewAck{View: 3},
+		&group.ViewCommit{View: 3, Group: 2, Members: []proto.NodeID{1, 5}},
+		&node.BlockMsg{Height: 8, Miner: 4, TimeNano: 123, PowNonce: 99,
+			Txs: [][]byte{{1, 2}, {3}}, Parent: [32]byte{0xaa}},
+	}
+	for _, msg := range samples {
+		b, err := codec.Marshal(msg)
+		if err != nil {
+			t.Errorf("Marshal(%T): %v", msg, err)
+			continue
+		}
+		back, err := codec.Unmarshal(b)
+		if err != nil {
+			t.Errorf("Unmarshal(%T): %v", msg, err)
+			continue
+		}
+		if !reflect.DeepEqual(normalize(msg), normalize(back)) {
+			t.Errorf("%T round trip mismatch:\n in: %#v\nout: %#v", msg, msg, back)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form so DeepEqual
+// compares structure, not allocation details.
+func normalize(m wire.Encodable) any {
+	v := reflect.ValueOf(m).Elem()
+	out := reflect.New(v.Type()).Elem()
+	out.Set(v)
+	normalizeValue(out)
+	return out.Interface()
+}
+
+func normalizeValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.Len() == 0 && !v.IsNil() {
+			v.Set(reflect.Zero(v.Type()))
+			return
+		}
+		for i := 0; i < v.Len(); i++ {
+			normalizeValue(v.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() {
+				normalizeValue(v.Field(i))
+			}
+		}
+	}
+}

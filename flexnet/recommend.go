@@ -1,0 +1,144 @@
+package flexnet
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Recommendation is a parameter choice produced by RecommendParams,
+// answering the paper's concluding goal of giving "application designers
+// … data to choose suitable and safe parameters".
+type Recommendation struct {
+	// K is the anonymity parameter (group sizes in [K, 2K−1]).
+	K int
+	// D is the number of adaptive-diffusion rounds.
+	D int
+	// PredictedFloor is the worst-case deanonymization probability the
+	// DC-net phase guarantees: 1/ℓ for ℓ expected honest members in the
+	// smallest (size-K) group.
+	PredictedFloor float64
+	// PredictedBallSize is the expected adaptive-diffusion anonymity
+	// set after D rounds on a degree-Degree overlay.
+	PredictedBallSize int
+	// PredictedLatency estimates submission-to-coverage time.
+	PredictedLatency time.Duration
+	// PredictedPhase1MsgsPerRound is the periodic group cost 3·g·(g−1)
+	// at g = K.
+	PredictedPhase1MsgsPerRound int
+}
+
+// AdvisorInput describes the deployment RecommendParams plans for.
+type AdvisorInput struct {
+	// N and Degree describe the overlay (defaults 1000 and 8).
+	N, Degree int
+	// AdversaryFraction is the assumed corrupted-node fraction f. Zero
+	// means planning for a purely external observer (no corrupted group
+	// members).
+	AdversaryFraction float64
+	// TargetFloor is the highest acceptable worst-case deanonymization
+	// probability (default 0.2, i.e. 5-anonymity among honest members).
+	TargetFloor float64
+	// CoverFraction is the fraction of the network the diffusion phase
+	// should cover before the flood (default 0.1).
+	CoverFraction float64
+	// DCInterval and ADInterval are the phase cadences (defaults 2 s and
+	// 500 ms).
+	DCInterval, ADInterval time.Duration
+	// LatencyMs is the per-hop latency (default 50).
+	LatencyMs int
+}
+
+func (in *AdvisorInput) applyDefaults() {
+	if in.N == 0 {
+		in.N = 1000
+	}
+	if in.Degree == 0 {
+		in.Degree = 8
+	}
+	if in.TargetFloor == 0 {
+		in.TargetFloor = 0.2
+	}
+	if in.CoverFraction == 0 {
+		in.CoverFraction = 0.1
+	}
+	if in.DCInterval == 0 {
+		in.DCInterval = 2 * time.Second
+	}
+	if in.ADInterval == 0 {
+		in.ADInterval = 500 * time.Millisecond
+	}
+	if in.LatencyMs == 0 {
+		in.LatencyMs = 50
+	}
+}
+
+// RecommendParams picks the smallest (k, d) meeting the privacy targets:
+// k so that the k-anonymity floor 1/⌈k·(1−f)⌉ stays at or below
+// TargetFloor even in a minimum-size group, and d so the diffusion ball
+// reaches CoverFraction·N nodes on a Degree-regular overlay. It mirrors
+// the paper's guidance that k is "typically a value between four and
+// ten" and d is "chosen based on the network diameter".
+func RecommendParams(in AdvisorInput) (*Recommendation, error) {
+	in.applyDefaults()
+	if in.TargetFloor <= 0 || in.TargetFloor >= 1 {
+		return nil, errors.New("flexnet: TargetFloor must be in (0,1)")
+	}
+	if in.AdversaryFraction < 0 || in.AdversaryFraction >= 1 {
+		return nil, errors.New("flexnet: AdversaryFraction must be in [0,1)")
+	}
+
+	// Smallest k with 1/ceil(k(1−f)) ≤ target.
+	k := 2
+	for ; k <= in.N; k++ {
+		honest := int(math.Ceil(float64(k) * (1 - in.AdversaryFraction)))
+		if honest > 0 && 1/float64(honest) <= in.TargetFloor {
+			break
+		}
+	}
+
+	// Smallest d whose d-regular-tree ball reaches the cover target.
+	target := int(in.CoverFraction * float64(in.N))
+	d := 1
+	for ; d < 64; d++ {
+		if ballSizeOn(in.Degree, d) >= target {
+			break
+		}
+	}
+
+	honest := int(math.Ceil(float64(k) * (1 - in.AdversaryFraction)))
+	hop := time.Duration(in.LatencyMs) * time.Millisecond
+	// Submission waits ~1.5 DC rounds (announce + data), then d
+	// diffusion rounds, then a flood across the remaining diameter
+	// (≈ log_{deg−1} N hops on an expander).
+	floodHops := int(math.Ceil(math.Log(float64(in.N)) / math.Log(float64(max(in.Degree-1, 2)))))
+	latency := in.DCInterval*3/2 +
+		time.Duration(d)*in.ADInterval +
+		time.Duration(floodHops)*hop
+
+	return &Recommendation{
+		K:                           k,
+		D:                           d,
+		PredictedFloor:              1 / float64(honest),
+		PredictedBallSize:           ballSizeOn(in.Degree, d),
+		PredictedLatency:            latency,
+		PredictedPhase1MsgsPerRound: 3 * k * (k - 1),
+	}, nil
+}
+
+// ballSizeOn is the d-regular-tree ball size (non-centre nodes) used by
+// the advisor; mirrors adaptive.BallSize without exporting internals.
+func ballSizeOn(deg, rho int) int {
+	if rho <= 0 {
+		return 0
+	}
+	if deg <= 2 {
+		return 2 * rho
+	}
+	total, width := 0, deg
+	for j := 1; j <= rho; j++ {
+		total += width
+		width *= deg - 1
+	}
+	return total
+}

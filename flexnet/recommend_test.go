@@ -1,0 +1,77 @@
+package flexnet
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRecommendParamsFloors(t *testing.T) {
+	cases := []struct {
+		floor float64
+		f     float64
+		minK  int
+	}{
+		{0.25, 0.2, 4}, // ℓ ≥ 4 honest → k ≥ 4 at f=0.2 (ceil(4·0.8)=4)
+		{0.2, 0.0, 5},  // ℓ ≥ 5 honest, nobody corrupted → k = 5
+		{0.1, 0.5, 19}, // ℓ ≥ 10 honest at f=0.5 → k ≥ 19 (ceil(19·0.5)=10)
+	}
+	for _, c := range cases {
+		rec, err := RecommendParams(AdvisorInput{TargetFloor: c.floor, AdversaryFraction: c.f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.K < c.minK {
+			t.Errorf("floor %v f %v: K = %d, want ≥ %d", c.floor, c.f, rec.K, c.minK)
+		}
+		if rec.PredictedFloor > c.floor+1e-9 {
+			t.Errorf("floor %v: predicted %v exceeds target", c.floor, rec.PredictedFloor)
+		}
+		// Check the floor formula directly.
+		honest := int(math.Ceil(float64(rec.K) * (1 - c.f)))
+		if got := 1 / float64(honest); math.Abs(got-rec.PredictedFloor) > 1e-9 {
+			t.Errorf("PredictedFloor = %v, formula gives %v", rec.PredictedFloor, got)
+		}
+	}
+}
+
+func TestRecommendParamsCoverage(t *testing.T) {
+	rec, err := RecommendParams(AdvisorInput{N: 1000, Degree: 8, CoverFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PredictedBallSize < 100 {
+		t.Errorf("ball %d below 10%% of 1000", rec.PredictedBallSize)
+	}
+	// d should be minimal: the next smaller ball must be under target.
+	if rec.D > 1 && ballSizeOn(8, rec.D-1) >= 100 {
+		t.Errorf("D = %d not minimal", rec.D)
+	}
+	if rec.PredictedLatency <= 0 || rec.PredictedLatency > time.Minute {
+		t.Errorf("implausible latency %v", rec.PredictedLatency)
+	}
+	if rec.PredictedPhase1MsgsPerRound != 3*rec.K*(rec.K-1) {
+		t.Errorf("phase-1 cost %d != 3k(k−1)", rec.PredictedPhase1MsgsPerRound)
+	}
+}
+
+func TestRecommendParamsValidation(t *testing.T) {
+	if _, err := RecommendParams(AdvisorInput{TargetFloor: 1.5}); err == nil {
+		t.Error("TargetFloor > 1 accepted")
+	}
+	if _, err := RecommendParams(AdvisorInput{TargetFloor: 0.2, AdversaryFraction: -0.1}); err == nil {
+		t.Error("negative adversary fraction accepted")
+	}
+}
+
+func TestBallSizeOnMatchesLineAndTree(t *testing.T) {
+	if got := ballSizeOn(2, 5); got != 10 {
+		t.Errorf("line ball = %d, want 10", got)
+	}
+	if got := ballSizeOn(3, 2); got != 9 {
+		t.Errorf("tree ball = %d, want 9", got)
+	}
+	if got := ballSizeOn(8, 0); got != 0 {
+		t.Errorf("zero-radius ball = %d", got)
+	}
+}

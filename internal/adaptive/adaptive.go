@@ -1,0 +1,422 @@
+// Package adaptive implements adaptive diffusion (Fanti et al.,
+// "Spy vs. Spy: Rumor Source Obfuscation", SIGMETRICS 2015), the Phase-2
+// statistical spreading mechanism of the paper: a virtual-source token
+// performs a carefully biased walk away from the origin while the set of
+// infected nodes stays a ball centred at the token holder, so that the
+// true origin is (near-)uniformly distributed inside the infected set.
+//
+// The engine maintains, per message, the who-infected-whom tree. Control
+// traffic (Extend, Final) travels along tree edges; payload traffic
+// (Infect) crosses to uninfected nodes. One virtual-source round per
+// Config.RoundInterval either keeps the token (the ball radius grows by
+// one everywhere) or passes it away from the previous holder (the far
+// subtree grows by two), with pass probability Alpha(d, ρ, h).
+//
+// Two entry points exist: StartSource is the protocol of the original
+// publication (the origin immediately hands the token to a random
+// neighbor); StartCenter is the composed protocol's §IV-B variant where
+// the hash-selected group member starts "by balancing the graph around
+// them". A Finisher hook receives the final-spread instruction, which the
+// composed protocol uses to switch to flood-and-prune (Phase 3).
+package adaptive
+
+import (
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Config parametrizes the diffusion.
+type Config struct {
+	// D is the number of virtual-source rounds before the final spread is
+	// emitted; the infection ball reaches radius ≈ D+1. The paper picks D
+	// "based on the network diameter" (§IV-B).
+	D int
+	// RoundInterval separates virtual-source rounds. It must comfortably
+	// exceed the network round-trip across the infected ball for the
+	// tree invariants to hold (the paper assumes synchronized rounds).
+	RoundInterval time.Duration
+	// TreeDegree is the degree assumption d used in Alpha. Zero means
+	// "use the current virtual source's own degree".
+	TreeDegree int
+	// AlphaOverride, when nonzero, replaces Alpha with a constant pass
+	// probability — an ablation hook (experiment A1); the forced pass at
+	// h=0 still applies.
+	AlphaOverride float64
+	// Finisher, if non-nil, is invoked at every infected node when the
+	// final-spread instruction arrives.
+	Finisher Finisher
+	// DeliverLocally controls whether infection reports DeliverLocal
+	// (true for standalone use; the composed protocol also keeps it on).
+	DeliverLocally bool
+}
+
+// Finisher receives the end-of-diffusion event at each infected node.
+type Finisher interface {
+	// OnFinal runs when the node learns diffusion has ended. st is the
+	// node's tree state for the message; leaf nodes (no children) are
+	// the infection boundary and should continue dissemination.
+	OnFinal(ctx proto.Context, id proto.MsgID, st *State)
+}
+
+// State is one node's view of one message's diffusion tree.
+type State struct {
+	Payload  []byte
+	Parent   proto.NodeID // NoNode at the origin
+	Children []proto.NodeID
+
+	lastRound uint16 // highest control round processed (dedup)
+	finalDone bool
+}
+
+// IsLeaf reports whether the node is on the infection boundary.
+func (s *State) IsLeaf() bool { return len(s.Children) == 0 }
+
+// vsState is the virtual-source bookkeeping at the token holder.
+type vsState struct {
+	rho   int          // current ball radius
+	h     int          // token distance from the origin of the walk
+	prev  proto.NodeID // previous token holder (NoNode initially)
+	timer proto.TimerID
+}
+
+// roundTimer is the timer payload driving virtual-source rounds.
+type roundTimer struct{ id proto.MsgID }
+
+// Engine executes adaptive diffusion for any number of concurrent
+// messages at one node.
+type Engine struct {
+	cfg    Config
+	states map[proto.MsgID]*State
+	vs     map[proto.MsgID]*vsState
+	// pendingToken buffers a token that arrived before the payload (only
+	// possible under exotic latency models; links are FIFO).
+	pendingToken map[proto.MsgID]*TokenMsg
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.D < 1 {
+		cfg.D = 1
+	}
+	if cfg.RoundInterval <= 0 {
+		cfg.RoundInterval = 500 * time.Millisecond
+	}
+	return &Engine{
+		cfg:          cfg,
+		states:       make(map[proto.MsgID]*State),
+		vs:           make(map[proto.MsgID]*vsState),
+		pendingToken: make(map[proto.MsgID]*TokenMsg),
+	}
+}
+
+// State returns the node's tree state for a message, or nil.
+func (e *Engine) State(id proto.MsgID) *State { return e.states[id] }
+
+// IsVirtualSource reports whether this node currently holds the token.
+func (e *Engine) IsVirtualSource(id proto.MsgID) bool {
+	_, ok := e.vs[id]
+	return ok
+}
+
+// StartSource begins diffusion in the mode of the original publication:
+// the origin infects one random neighbor and immediately hands it the
+// token, so the origin never acts as virtual source.
+func (e *Engine) StartSource(ctx proto.Context, id proto.MsgID, payload []byte) {
+	if _, ok := e.states[id]; ok {
+		return
+	}
+	st := &State{Payload: payload, Parent: proto.NoNode, lastRound: 1}
+	e.states[id] = st
+	e.deliver(ctx, id, payload)
+	nbs := ctx.Neighbors()
+	if len(nbs) == 0 {
+		return
+	}
+	v1 := nbs[ctx.Rand().IntN(len(nbs))]
+	ctx.Send(v1, &InfectMsg{ID: id, TTL: 1, Round: 1, Payload: payload})
+	ctx.Send(v1, &TokenMsg{ID: id, Round: 1, H: 1})
+	st.Children = append(st.Children, v1)
+}
+
+// StartCenter begins diffusion in the composed protocol's §IV-B mode:
+// this node (selected by hash distance within the DC-net group) balances
+// the graph around itself and becomes the initial virtual source. Its
+// first round forces a token pass (Alpha at h=0 is 1).
+func (e *Engine) StartCenter(ctx proto.Context, id proto.MsgID, payload []byte) {
+	if _, ok := e.states[id]; ok {
+		return
+	}
+	st := &State{Payload: payload, Parent: proto.NoNode, lastRound: 1}
+	e.states[id] = st
+	e.deliver(ctx, id, payload)
+	for _, nb := range ctx.Neighbors() {
+		ctx.Send(nb, &InfectMsg{ID: id, TTL: 1, Round: 1, Payload: payload})
+		st.Children = append(st.Children, nb)
+	}
+	v := &vsState{rho: 1, h: 0, prev: proto.NoNode}
+	e.vs[id] = v
+	v.timer = ctx.SetTimer(e.cfg.RoundInterval, roundTimer{id: id})
+}
+
+// HandleMessage dispatches adaptive-diffusion messages; it reports
+// whether the message was consumed.
+func (e *Engine) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) bool {
+	switch m := msg.(type) {
+	case *InfectMsg:
+		e.handleInfect(ctx, from, m)
+	case *ExtendMsg:
+		e.handleExtend(ctx, from, m)
+	case *TokenMsg:
+		e.handleToken(ctx, from, m)
+	case *FinalMsg:
+		e.handleFinal(ctx, from, m)
+	default:
+		return false
+	}
+	return true
+}
+
+// HandleTimer processes virtual-source round timers; it reports whether
+// the payload belonged to this engine.
+func (e *Engine) HandleTimer(ctx proto.Context, payload any) bool {
+	rt, ok := payload.(roundTimer)
+	if !ok {
+		return false
+	}
+	e.runRound(ctx, rt.id)
+	return true
+}
+
+func (e *Engine) deliver(ctx proto.Context, id proto.MsgID, payload []byte) {
+	if e.cfg.DeliverLocally {
+		ctx.DeliverLocal(id, payload)
+	}
+}
+
+func (e *Engine) handleInfect(ctx proto.Context, from proto.NodeID, m *InfectMsg) {
+	if _, ok := e.states[m.ID]; ok {
+		return // prune: already infected
+	}
+	st := &State{Payload: m.Payload, Parent: from, lastRound: m.Round}
+	e.states[m.ID] = st
+	e.deliver(ctx, m.ID, m.Payload)
+	if m.TTL > 1 {
+		out := &InfectMsg{ID: m.ID, TTL: m.TTL - 1, Round: m.Round, Payload: m.Payload}
+		for _, nb := range ctx.Neighbors() {
+			if nb == from {
+				continue
+			}
+			ctx.Send(nb, out)
+			st.Children = append(st.Children, nb)
+		}
+	}
+	if tok, ok := e.pendingToken[m.ID]; ok {
+		delete(e.pendingToken, m.ID)
+		e.handleToken(ctx, from, tok)
+	}
+}
+
+// treeNeighbors returns parent+children excluding the given node.
+func treeNeighbors(st *State, except proto.NodeID) []proto.NodeID {
+	out := make([]proto.NodeID, 0, len(st.Children)+1)
+	if st.Parent != proto.NoNode && st.Parent != except {
+		out = append(out, st.Parent)
+	}
+	for _, c := range st.Children {
+		if c != except {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (e *Engine) handleExtend(ctx proto.Context, from proto.NodeID, m *ExtendMsg) {
+	st, ok := e.states[m.ID]
+	if !ok || m.Round <= st.lastRound {
+		return
+	}
+	st.lastRound = m.Round
+	e.extendSubtree(ctx, st, m, from)
+}
+
+// extendSubtree relays a grow instruction away from `from`; boundary
+// nodes convert it into fresh infections of depth m.Depth.
+func (e *Engine) extendSubtree(ctx proto.Context, st *State, m *ExtendMsg, from proto.NodeID) {
+	relays := treeNeighbors(st, from)
+	if len(relays) > 0 {
+		for _, nb := range relays {
+			ctx.Send(nb, m)
+		}
+		return
+	}
+	// Boundary: infect outward, away from the infection parent.
+	e.infectOutward(ctx, st, m.ID, m.Depth, m.Round)
+}
+
+// infectOutward sends fresh infections with the given TTL to all
+// non-parent neighbors and records them as children.
+func (e *Engine) infectOutward(ctx proto.Context, st *State, id proto.MsgID, ttl, round uint16) {
+	out := &InfectMsg{ID: id, TTL: ttl, Round: round, Payload: st.Payload}
+	for _, nb := range ctx.Neighbors() {
+		if nb == st.Parent {
+			continue
+		}
+		ctx.Send(nb, out)
+		st.Children = append(st.Children, nb)
+	}
+}
+
+func (e *Engine) handleToken(ctx proto.Context, from proto.NodeID, m *TokenMsg) {
+	st, ok := e.states[m.ID]
+	if !ok {
+		// Token outran the payload (non-FIFO transport); hold it.
+		e.pendingToken[m.ID] = m
+		return
+	}
+	if _, already := e.vs[m.ID]; already {
+		return
+	}
+	v := &vsState{rho: int(m.Round), h: int(m.H), prev: from}
+	e.vs[m.ID] = v
+	// Balance: grow the subtree away from the previous virtual source so
+	// this node becomes the centre of the (now radius-Round) ball. The
+	// initial hand-off (Round 1) grows by one hop, later passes by two.
+	depth := uint16(2)
+	if m.Round < 2 {
+		depth = 1
+	}
+	if m.Round > st.lastRound {
+		st.lastRound = m.Round
+	}
+	if relays := treeNeighbors(st, from); len(relays) > 0 {
+		ext := &ExtendMsg{ID: m.ID, Depth: depth, Round: m.Round}
+		for _, nb := range relays {
+			ctx.Send(nb, ext)
+		}
+	} else {
+		e.infectOutward(ctx, st, m.ID, depth, m.Round)
+	}
+	v.timer = ctx.SetTimer(e.cfg.RoundInterval, roundTimer{id: m.ID})
+}
+
+func (e *Engine) runRound(ctx proto.Context, id proto.MsgID) {
+	v, ok := e.vs[id]
+	if !ok {
+		return
+	}
+	st := e.states[id]
+	if st == nil {
+		return
+	}
+	if v.rho >= e.cfg.D {
+		// Final round reached: emit the final-spread instruction (§IV-B)
+		// and stop acting as virtual source.
+		delete(e.vs, id)
+		e.finalLocal(ctx, id, st, proto.NoNode)
+		return
+	}
+	deg := e.cfg.TreeDegree
+	if deg <= 0 {
+		deg = len(ctx.Neighbors())
+	}
+	alpha := Alpha(deg, v.rho, v.h)
+	if e.cfg.AlphaOverride > 0 && v.h > 0 {
+		alpha = e.cfg.AlphaOverride
+	}
+	pass := ctx.Rand().Float64() < alpha
+
+	var candidates []proto.NodeID
+	if pass {
+		for _, nb := range ctx.Neighbors() {
+			if nb != v.prev {
+				candidates = append(candidates, nb)
+			}
+		}
+	}
+	newRound := uint16(v.rho + 1)
+	if len(candidates) > 0 {
+		// Pass: the chosen neighbor becomes the centre of the radius
+		// ρ+1 ball; it performs the balancing itself on token receipt.
+		next := candidates[ctx.Rand().IntN(len(candidates))]
+		delete(e.vs, id)
+		ctx.Send(next, &TokenMsg{ID: id, Round: newRound, H: uint16(v.h + 1)})
+		return
+	}
+	// Keep (or pass with no eligible neighbor): the ball grows by one
+	// hop in every direction.
+	if st.lastRound < newRound {
+		st.lastRound = newRound
+	}
+	if relays := treeNeighbors(st, proto.NoNode); len(relays) > 0 {
+		ext := &ExtendMsg{ID: id, Depth: 1, Round: newRound}
+		for _, nb := range relays {
+			ctx.Send(nb, ext)
+		}
+	} else {
+		e.infectOutward(ctx, st, id, 1, newRound)
+	}
+	v.rho++
+	v.timer = ctx.SetTimer(e.cfg.RoundInterval, roundTimer{id: id})
+}
+
+func (e *Engine) handleFinal(ctx proto.Context, from proto.NodeID, m *FinalMsg) {
+	st, ok := e.states[m.ID]
+	if !ok {
+		return
+	}
+	e.finalLocal(ctx, m.ID, st, from)
+}
+
+func (e *Engine) finalLocal(ctx proto.Context, id proto.MsgID, st *State, from proto.NodeID) {
+	if st.finalDone {
+		return
+	}
+	st.finalDone = true
+	out := &FinalMsg{ID: id, Round: st.lastRound}
+	for _, nb := range treeNeighbors(st, from) {
+		ctx.Send(nb, out)
+	}
+	if e.cfg.Finisher != nil {
+		e.cfg.Finisher.OnFinal(ctx, id, st)
+	}
+}
+
+// Protocol wraps Engine as a standalone proto.Broadcaster — adaptive
+// diffusion alone, the configuration whose lack of a delivery guarantee
+// §III-A points out (reproduced by experiment E9).
+type Protocol struct {
+	engine *Engine
+}
+
+var _ proto.Broadcaster = (*Protocol)(nil)
+
+// New returns a standalone adaptive-diffusion protocol.
+func New(cfg Config) *Protocol {
+	cfg.DeliverLocally = true
+	return &Protocol{engine: NewEngine(cfg)}
+}
+
+// Engine exposes the underlying engine.
+func (p *Protocol) Engine() *Engine { return p.engine }
+
+// Init implements proto.Handler.
+func (p *Protocol) Init(proto.Context) {}
+
+// HandleMessage implements proto.Handler.
+func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	p.engine.HandleMessage(ctx, from, msg)
+}
+
+// HandleTimer implements proto.Handler.
+func (p *Protocol) HandleTimer(ctx proto.Context, payload any) {
+	p.engine.HandleTimer(ctx, payload)
+}
+
+// Broadcast implements proto.Broadcaster using the original protocol's
+// source behaviour.
+func (p *Protocol) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, error) {
+	id := proto.NewMsgID(payload)
+	p.engine.StartSource(ctx, id, payload)
+	return id, nil
+}

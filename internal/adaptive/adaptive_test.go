@@ -1,0 +1,266 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// tokenTap records virtual-source token movements.
+type tokenTap struct {
+	lastHolder proto.NodeID
+	passes     int
+}
+
+func (t *tokenTap) OnSend(_ time.Duration, _, to proto.NodeID, msg proto.Message) {
+	if _, ok := msg.(*TokenMsg); ok {
+		t.lastHolder = to
+		t.passes++
+	}
+}
+
+func (*tokenTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+
+func adaptiveNetwork(t *testing.T, g *topology.Graph, cfg Config, seed uint64) (*sim.Network, *tokenTap) {
+	t.Helper()
+	net := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(time.Millisecond)})
+	tap := &tokenTap{lastHolder: proto.NoNode}
+	net.AddTap(tap)
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return New(cfg) })
+	net.Start()
+	return net, tap
+}
+
+func TestLineBallInvariant(t *testing.T) {
+	// On a line with source in the middle and D rounds, the infected set
+	// must be a contiguous interval of exactly 2D+1 nodes centred at the
+	// final token holder.
+	const n, d = 201, 8
+	g, err := topology.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, tap := adaptiveNetwork(t, g, Config{D: d, RoundInterval: 100 * time.Millisecond}, 5)
+	id, err := net.Originate(n/2, []byte("tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+
+	times := net.DeliveryTimes(id)
+	if len(times) != 2*d+1 {
+		t.Fatalf("infected %d nodes, want %d", len(times), 2*d+1)
+	}
+	lo, hi := proto.NodeID(n), proto.NodeID(-1)
+	for v := range times {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if int(hi-lo)+1 != len(times) {
+		t.Errorf("infected set not contiguous: [%d,%d] with %d nodes", lo, hi, len(times))
+	}
+	center := tap.lastHolder
+	if center == proto.NoNode {
+		t.Fatal("no token pass observed")
+	}
+	if center-lo != hi-center {
+		t.Errorf("final holder %d not centred in [%d,%d]", center, lo, hi)
+	}
+	if tap.passes < 1 {
+		t.Error("first pass is forced; expected at least one token transfer")
+	}
+}
+
+func TestTreeBallInvariant(t *testing.T) {
+	// On a 3-regular tree the infected set must be exactly the ball of
+	// radius D around the final token holder.
+	g, err := topology.RegularTree(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 4
+	net, tap := adaptiveNetwork(t, g, Config{D: d, RoundInterval: 100 * time.Millisecond, TreeDegree: 3}, 7)
+	id, err := net.Originate(0, []byte("tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+
+	center := tap.lastHolder
+	if center == proto.NoNode {
+		t.Fatal("no token pass observed")
+	}
+	dist := g.BFS(center)
+	times := net.DeliveryTimes(id)
+	for v := range times {
+		if dist[v] > d {
+			t.Errorf("node %d infected at distance %d > %d from centre %d", v, dist[v], d, center)
+		}
+	}
+	// Every node within the ball must be infected (unless the ball was
+	// clipped by the tree boundary, which depth 8 avoids for D=4 from
+	// the root region; verify only nodes whose distance ≤ D).
+	missing := 0
+	for v := 0; v < g.N(); v++ {
+		if dist[v] <= d {
+			if _, ok := times[proto.NodeID(v)]; !ok {
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d nodes inside the radius-%d ball not infected", missing, d)
+	}
+}
+
+func TestSourceObfuscationUniformOnLine(t *testing.T) {
+	// The paper's §V-B claim via [17]: the true origin should be
+	// (near-)uniform over the infected set, excluding the centre. On a
+	// line, the source offset from the final centre must be uniform over
+	// ±1..±D.
+	const n, d, trials = 101, 6, 1500
+	g, err := topology.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for trial := 0; trial < trials; trial++ {
+		net, tap := adaptiveNetwork(t, g, Config{D: d, RoundInterval: 100 * time.Millisecond}, uint64(trial+1))
+		src := proto.NodeID(n / 2)
+		if _, err := net.Originate(src, []byte{byte(trial), byte(trial >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		offset := int(src) - int(tap.lastHolder)
+		counts[offset]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("source coincided with centre %d times; the first pass forbids that", counts[0])
+	}
+	// 2d buckets, expected trials/(2d) each. Allow ±45% slack: crude but
+	// catches systematic bias (a wrong alpha skews the tails severely).
+	want := float64(trials) / float64(2*d)
+	for off := -d; off <= d; off++ {
+		if off == 0 {
+			continue
+		}
+		got := float64(counts[off])
+		if got < want*0.55 || got > want*1.45 {
+			t.Errorf("offset %+d: %v trials, want ~%v (counts: %v)", off, got, want, counts)
+		}
+	}
+}
+
+func TestNoDeliveryGuarantee(t *testing.T) {
+	// §III-A: adaptive diffusion alone does not deliver to all nodes —
+	// the motivation for Phase 3 (experiment E9).
+	g, err := topology.RegularTree(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := adaptiveNetwork(t, g, Config{D: 3, RoundInterval: 100 * time.Millisecond, TreeDegree: 3}, 3)
+	id, err := net.Originate(0, []byte("tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if got := net.Delivered(id); got >= g.N() {
+		t.Errorf("adaptive-only delivered to all %d nodes; expected partial coverage", got)
+	} else if got == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+// finishRecorder counts Finisher invocations and boundary leaves.
+type finishRecorder struct {
+	calls  int
+	leaves int
+}
+
+func (f *finishRecorder) OnFinal(_ proto.Context, _ proto.MsgID, st *State) {
+	f.calls++
+	if st.IsLeaf() {
+		f.leaves++
+	}
+}
+
+func TestFinisherRunsAtEveryInfectedNode(t *testing.T) {
+	g, err := topology.RegularTree(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &finishRecorder{}
+	net := sim.NewNetwork(g, sim.Options{Seed: 9, Latency: sim.ConstLatency(time.Millisecond)})
+	net.SetHandlers(func(proto.NodeID) proto.Handler {
+		return New(Config{D: 3, RoundInterval: 100 * time.Millisecond, TreeDegree: 3, Finisher: rec})
+	})
+	net.Start()
+	id, err := net.Originate(0, []byte("tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	infected := net.Delivered(id)
+	if rec.calls != infected {
+		t.Errorf("Finisher ran %d times, want %d (once per infected node)", rec.calls, infected)
+	}
+	if rec.leaves == 0 {
+		t.Error("no boundary leaves saw the final spread")
+	}
+}
+
+func TestDuplicateBroadcastIsNoOp(t *testing.T) {
+	g, err := topology.Line(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := adaptiveNetwork(t, g, Config{D: 2, RoundInterval: 50 * time.Millisecond}, 1)
+	if _, err := net.Originate(5, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	before := net.TotalMessages()
+	if _, err := net.Originate(5, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if net.TotalMessages() != before {
+		t.Error("second Broadcast of same payload generated traffic")
+	}
+}
+
+func TestIsVirtualSourceLifecycle(t *testing.T) {
+	g, err := topology.Line(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sim.NewNetwork(g, sim.Options{Seed: 2, Latency: sim.ConstLatency(time.Millisecond)})
+	protocols := make([]*Protocol, g.N())
+	net.SetHandlers(func(id proto.NodeID) proto.Handler {
+		protocols[id] = New(Config{D: 3, RoundInterval: 50 * time.Millisecond})
+		return protocols[id]
+	})
+	net.Start()
+	id, err := net.Originate(15, []byte("tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	// After the final spread nobody holds the token.
+	for i, p := range protocols {
+		if p.Engine().IsVirtualSource(id) {
+			t.Errorf("node %d still virtual source after completion", i)
+		}
+	}
+	// The source's state records no parent.
+	if st := protocols[15].Engine().State(id); st == nil || st.Parent != proto.NoNode {
+		t.Error("source state missing or has a parent")
+	}
+}

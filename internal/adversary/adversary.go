@@ -1,0 +1,266 @@
+// Package adversary implements the observation and estimation machinery
+// behind the paper's motivating attacks (§I, [12]): an honest-but-curious
+// adversary controlling a fraction of nodes records which honest node
+// first relayed each message and when, then runs estimators —
+// first-spy, timing-based maximum likelihood, and the group-level
+// attack against the composed protocol — to deanonymize the originator.
+package adversary
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/dandelion"
+	"repro/internal/flood"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Observation is one adversarial sighting: an honest node handed a
+// protocol message to a node the adversary controls.
+type Observation struct {
+	At   time.Duration
+	Spy  proto.NodeID // the adversarial receiver
+	From proto.NodeID // the honest sender (the immediate suspect)
+	Kind proto.MsgType
+}
+
+// Observer is a sim.Tap recording everything a set of corrupted nodes
+// sees. It never influences the run — the honest-but-curious model.
+type Observer struct {
+	corrupt map[proto.NodeID]bool
+	obs     map[proto.MsgID][]Observation
+}
+
+var _ sim.Tap = (*Observer)(nil)
+
+// NewObserver corrupts the given nodes.
+func NewObserver(corrupted []proto.NodeID) *Observer {
+	o := &Observer{
+		corrupt: make(map[proto.NodeID]bool, len(corrupted)),
+		obs:     make(map[proto.MsgID][]Observation),
+	}
+	for _, n := range corrupted {
+		o.corrupt[n] = true
+	}
+	return o
+}
+
+// SampleCorrupted picks ⌊f·n⌋ distinct nodes uniformly at random —
+// the botnet-style adversary of [12].
+func SampleCorrupted(n int, f float64, rng *rand.Rand) []proto.NodeID {
+	count := int(f * float64(n))
+	perm := rng.Perm(n)
+	out := make([]proto.NodeID, 0, count)
+	for _, v := range perm[:count] {
+		out = append(out, proto.NodeID(v))
+	}
+	return out
+}
+
+// Corrupted reports whether the adversary controls the node.
+func (o *Observer) Corrupted(n proto.NodeID) bool { return o.corrupt[n] }
+
+// CorruptedCount returns the number of controlled nodes.
+func (o *Observer) CorruptedCount() int { return len(o.corrupt) }
+
+// Observations returns the sightings for a message in arrival order.
+func (o *Observer) Observations(id proto.MsgID) []Observation { return o.obs[id] }
+
+// OnSend implements sim.Tap: record messages from honest nodes into
+// corrupted ones, keyed by the payload ID carried in the message.
+func (o *Observer) OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message) {
+	if !o.corrupt[to] || o.corrupt[from] {
+		return
+	}
+	id, ok := messageID(msg)
+	if !ok {
+		return
+	}
+	o.obs[id] = append(o.obs[id], Observation{At: at, Spy: to, From: from, Kind: msg.Type()})
+}
+
+// OnDeliverLocal implements sim.Tap (unused).
+func (*Observer) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+
+// messageID extracts the broadcast payload ID observable in a protocol
+// message. DC-net traffic carries no message ID — that is exactly the
+// point of Phase 1 — so it yields nothing here.
+func messageID(msg proto.Message) (proto.MsgID, bool) {
+	switch m := msg.(type) {
+	case *flood.DataMsg:
+		return m.ID, true
+	case *dandelion.StemMsg:
+		return m.ID, true
+	case *adaptive.InfectMsg:
+		return m.ID, true
+	case *adaptive.ExtendMsg:
+		return m.ID, true
+	case *adaptive.TokenMsg:
+		return m.ID, true
+	case *adaptive.FinalMsg:
+		return m.ID, true
+	default:
+		return proto.MsgID{}, false
+	}
+}
+
+// FirstSpy returns the first-spy estimate: the honest node that first
+// relayed the message to any corrupted node — the estimator the
+// Dandelion analysis shows is near-optimal against flooding.
+func FirstSpy(obs []Observation) proto.NodeID {
+	if len(obs) == 0 {
+		return proto.NoNode
+	}
+	best := obs[0]
+	for _, o := range obs[1:] {
+		if o.At < best.At {
+			best = o
+		}
+	}
+	return best.From
+}
+
+// FirstSpyOfKinds restricts first-spy to certain message families (e.g.
+// only stem messages, or only adaptive-diffusion traffic).
+func FirstSpyOfKinds(obs []Observation, kinds ...proto.MsgType) proto.NodeID {
+	var filtered []Observation
+	for _, o := range obs {
+		for _, k := range kinds {
+			if o.Kind == k {
+				filtered = append(filtered, o)
+				break
+			}
+		}
+	}
+	return FirstSpy(filtered)
+}
+
+// Timing is the timing-triangulation estimator for symmetric broadcasts
+// (the Fig.-2 attack): assuming per-hop latency L, the source minimizes
+// the variance of (arrival time at spy − L·dist(candidate, spy)) over
+// spies. It reproduces the arrival-time analysis of [12].
+type Timing struct {
+	Topo       *topology.Graph
+	HopLatency time.Duration
+}
+
+// Estimate returns the best candidate and, for diagnostics, the size of
+// the score-tied anonymity set (candidates within tolerance of the best
+// score). Candidates must be honest nodes.
+func (t *Timing) Estimate(obs []Observation, candidates []proto.NodeID) (proto.NodeID, int) {
+	if len(obs) == 0 || len(candidates) == 0 {
+		return proto.NoNode, len(candidates)
+	}
+	// Earliest arrival per spy.
+	earliest := make(map[proto.NodeID]time.Duration)
+	for _, o := range obs {
+		if cur, ok := earliest[o.Spy]; !ok || o.At < cur {
+			earliest[o.Spy] = o.At
+		}
+	}
+	spies := make([]proto.NodeID, 0, len(earliest))
+	for s := range earliest {
+		spies = append(spies, s)
+	}
+	sort.Slice(spies, func(i, j int) bool { return spies[i] < spies[j] })
+
+	// BFS distances from every spy (cheaper than from every candidate).
+	dist := make(map[proto.NodeID][]int, len(spies))
+	for _, s := range spies {
+		dist[s] = t.Topo.BFS(s)
+	}
+
+	L := float64(t.HopLatency)
+	bestScore := 0.0
+	best := proto.NoNode
+	scores := make([]float64, len(candidates))
+	for i, cand := range candidates {
+		var sum, sumSq float64
+		n := 0
+		for _, s := range spies {
+			d := dist[s][cand]
+			if d < 0 {
+				continue
+			}
+			r := float64(earliest[s]) - L*float64(d)
+			sum += r
+			sumSq += r * r
+			n++
+		}
+		if n == 0 {
+			scores[i] = 0
+			continue
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		scores[i] = variance
+		if best == proto.NoNode || variance < bestScore {
+			best, bestScore = cand, variance
+		}
+	}
+	// Anonymity set: candidates whose score is within 0.1% (or an
+	// absolute epsilon) of the best.
+	tol := bestScore*0.001 + 1e3 // 1e3 ns² absolute floor
+	anon := 0
+	for _, sc := range scores {
+		if sc <= bestScore+tol {
+			anon++
+		}
+	}
+	return best, anon
+}
+
+// Aggregate accumulates per-trial attack outcomes into the
+// precision/anonymity-set numbers the experiments report.
+type Aggregate struct {
+	Trials  int
+	hitProb float64
+	anonSum float64
+}
+
+// AddExact records a point estimate: success iff suspect == truth.
+func (a *Aggregate) AddExact(truth, suspect proto.NodeID) {
+	a.Trials++
+	if truth == suspect {
+		a.hitProb++
+	}
+	a.anonSum++
+}
+
+// AddSet records a set estimate: the adversary guesses uniformly inside
+// the suspect set, so the per-trial success probability is 1/|set| when
+// the truth is inside and 0 otherwise.
+func (a *Aggregate) AddSet(truth proto.NodeID, suspects []proto.NodeID) {
+	a.Trials++
+	if len(suspects) == 0 {
+		a.anonSum++
+		return
+	}
+	for _, s := range suspects {
+		if s == truth {
+			a.hitProb += 1 / float64(len(suspects))
+			break
+		}
+	}
+	a.anonSum += float64(len(suspects))
+}
+
+// Precision returns the expected deanonymization success probability.
+func (a *Aggregate) Precision() float64 {
+	if a.Trials == 0 {
+		return 0
+	}
+	return a.hitProb / float64(a.Trials)
+}
+
+// MeanAnonymitySet returns the mean suspect-set size.
+func (a *Aggregate) MeanAnonymitySet() float64 {
+	if a.Trials == 0 {
+		return 0
+	}
+	return a.anonSum / float64(a.Trials)
+}

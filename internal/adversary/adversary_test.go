@@ -1,0 +1,194 @@
+package adversary
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/dandelion"
+	"repro/internal/flood"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestSampleCorrupted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	got := SampleCorrupted(100, 0.2, rng)
+	if len(got) != 20 {
+		t.Fatalf("corrupted %d nodes, want 20", len(got))
+	}
+	seen := make(map[proto.NodeID]bool)
+	for _, n := range got {
+		if seen[n] {
+			t.Fatalf("duplicate corrupted node %d", n)
+		}
+		seen[n] = true
+		if n < 0 || n >= 100 {
+			t.Fatalf("node %d out of range", n)
+		}
+	}
+}
+
+func TestFirstSpyAgainstFlooding(t *testing.T) {
+	// Against plain flooding with a 20% adversary, first-spy should
+	// identify the source often — the paper's motivation for network-
+	// layer privacy (§I, Fig. 2). On an 8-regular graph the source's
+	// direct push reaches a spy neighbor with prob 1−0.8⁸ ≈ 0.83.
+	rng := rand.New(rand.NewPCG(5, 6))
+	g, err := topology.RandomRegular(200, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := &Aggregate{}
+	for trial := 0; trial < 60; trial++ {
+		trialRNG := rand.New(rand.NewPCG(uint64(trial), 99))
+		corrupted := SampleCorrupted(200, 0.2, trialRNG)
+		obs := NewObserver(corrupted)
+		net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(10 * time.Millisecond)})
+		net.AddTap(obs)
+		net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+		net.Start()
+
+		// Honest source.
+		src := proto.NodeID(trialRNG.IntN(200))
+		for obs.Corrupted(src) {
+			src = proto.NodeID(trialRNG.IntN(200))
+		}
+		id, err := net.Originate(src, []byte{byte(trial), 0x01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		agg.AddExact(src, FirstSpy(obs.Observations(id)))
+	}
+	if p := agg.Precision(); p < 0.5 {
+		t.Errorf("first-spy precision vs flooding = %v, want > 0.5", p)
+	}
+}
+
+func TestFirstSpyWeakAgainstDandelion(t *testing.T) {
+	// Dandelion's stem shifts the first-spy suspicion to stem relays:
+	// precision should drop well below the flooding case.
+	rng := rand.New(rand.NewPCG(7, 8))
+	g, err := topology.RandomRegular(200, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := &Aggregate{}
+	for trial := 0; trial < 60; trial++ {
+		trialRNG := rand.New(rand.NewPCG(uint64(trial), 1234))
+		corrupted := SampleCorrupted(200, 0.2, trialRNG)
+		obs := NewObserver(corrupted)
+		net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(10 * time.Millisecond)})
+		net.AddTap(obs)
+		net.SetHandlers(func(proto.NodeID) proto.Handler {
+			return dandelion.New(dandelion.Config{Q: 0.1, FailSafe: 10 * time.Second})
+		})
+		net.Start()
+
+		src := proto.NodeID(trialRNG.IntN(200))
+		for obs.Corrupted(src) {
+			src = proto.NodeID(trialRNG.IntN(200))
+		}
+		id, err := net.Originate(src, []byte{byte(trial), 0x02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.RunUntil(net.Now() + 2*time.Minute)
+		agg.AddExact(src, FirstSpy(obs.Observations(id)))
+	}
+	if p := agg.Precision(); p > 0.45 {
+		t.Errorf("first-spy precision vs dandelion = %v, want < 0.45", p)
+	}
+}
+
+func TestTimingEstimatorFindsFloodSource(t *testing.T) {
+	// With constant per-hop latency the timing estimator should locate a
+	// flooding source almost always.
+	rng := rand.New(rand.NewPCG(9, 10))
+	g, err := topology.RandomRegular(150, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &Timing{Topo: g, HopLatency: 10 * time.Millisecond}
+	agg := &Aggregate{}
+	for trial := 0; trial < 30; trial++ {
+		trialRNG := rand.New(rand.NewPCG(uint64(trial), 55))
+		corrupted := SampleCorrupted(150, 0.15, trialRNG)
+		obs := NewObserver(corrupted)
+		net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(10 * time.Millisecond)})
+		net.AddTap(obs)
+		net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+		net.Start()
+
+		src := proto.NodeID(trialRNG.IntN(150))
+		for obs.Corrupted(src) {
+			src = proto.NodeID(trialRNG.IntN(150))
+		}
+		id, err := net.Originate(src, []byte{byte(trial), 0x03})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+
+		var candidates []proto.NodeID
+		for v := 0; v < 150; v++ {
+			if !obs.Corrupted(proto.NodeID(v)) {
+				candidates = append(candidates, proto.NodeID(v))
+			}
+		}
+		suspect, _ := est.Estimate(obs.Observations(id), candidates)
+		agg.AddExact(src, suspect)
+	}
+	if p := agg.Precision(); p < 0.6 {
+		t.Errorf("timing precision vs flooding = %v, want > 0.6", p)
+	}
+}
+
+func TestAggregateSetAccounting(t *testing.T) {
+	a := &Aggregate{}
+	a.AddSet(5, []proto.NodeID{1, 5, 9, 13}) // hit with prob 1/4
+	a.AddSet(5, []proto.NodeID{1, 2})        // miss
+	a.AddSet(5, nil)                         // degenerate: no suspects
+	if got := a.Precision(); got != 0.25/3 {
+		t.Errorf("Precision = %v, want %v", got, 0.25/3)
+	}
+	if got := a.MeanAnonymitySet(); got != (4+2+1)/3.0 {
+		t.Errorf("MeanAnonymitySet = %v, want %v", got, (4+2+1)/3.0)
+	}
+}
+
+func TestObserverIgnoresAdversaryInternalTraffic(t *testing.T) {
+	o := NewObserver([]proto.NodeID{1, 2})
+	id := proto.NewMsgID([]byte("x"))
+	msg := &flood.DataMsg{ID: id}
+	o.OnSend(time.Millisecond, 1, 2, msg) // corrupt → corrupt: internal
+	o.OnSend(time.Millisecond, 3, 4, msg) // honest → honest: invisible
+	if len(o.Observations(id)) != 0 {
+		t.Error("internal or honest-only traffic observed")
+	}
+	o.OnSend(2*time.Millisecond, 3, 1, msg)
+	if len(o.Observations(id)) != 1 {
+		t.Error("honest-to-corrupt traffic missed")
+	}
+	if FirstSpy(o.Observations(id)) != 3 {
+		t.Error("wrong first-spy suspect")
+	}
+	if FirstSpy(nil) != proto.NoNode {
+		t.Error("empty observations should yield NoNode")
+	}
+}
+
+func TestFirstSpyOfKinds(t *testing.T) {
+	o := NewObserver([]proto.NodeID{9})
+	id := proto.NewMsgID([]byte("k"))
+	o.OnSend(1*time.Millisecond, 2, 9, &dandelion.StemMsg{ID: id})
+	o.OnSend(2*time.Millisecond, 3, 9, &flood.DataMsg{ID: id})
+	if got := FirstSpyOfKinds(o.Observations(id), flood.TypeData); got != 3 {
+		t.Errorf("flood-only first spy = %d, want 3", got)
+	}
+	if got := FirstSpyOfKinds(o.Observations(id), dandelion.TypeStem); got != 2 {
+		t.Errorf("stem-only first spy = %d, want 2", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package core implements the paper's primary contribution: the flexible
+// privacy-preserving broadcast protocol of §IV, composing the three
+// phases
+//
+//  1. DC-net dissemination inside the sender's group of g ∈ [k, 2k−1]
+//     members (internal/dcnet, Fig. 4), giving cryptographic
+//     ℓ-anonymity among the ℓ honest members;
+//  2. adaptive diffusion for d rounds (internal/adaptive), smoothing the
+//     statistical origin probability across a growing ball;
+//  3. flood-and-prune (internal/flood), guaranteeing delivery.
+//
+// Both transitions follow §IV-B exactly. Phase 1 → 2: every group member
+// recovers the message from the DC-net round and deterministically
+// selects the initial virtual source — the member whose hashed identity
+// is closest (XOR metric) to the message hash. No extra messages are
+// exchanged, the choice is independent of the originator, and every
+// member can verify it. Phase 2 → 3: the round counter travels with the
+// virtual-source token; the final virtual source emits the final-spread
+// instruction, which every infected node relays down the diffusion tree
+// while boundary leaves switch to flood-and-prune.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/crypto"
+	"repro/internal/dcnet"
+	"repro/internal/flood"
+	"repro/internal/proto"
+)
+
+// Config parametrizes one node of the composed protocol.
+type Config struct {
+	// K is the anonymity parameter; group sizes live in [K, 2K−1]. The
+	// paper suggests "a value between four and ten".
+	K int
+	// D is the number of adaptive-diffusion rounds, "chosen based on the
+	// network diameter to reach a large amount of nodes" (§IV-B).
+	D int
+
+	// Group is this node's DC-net group including itself; empty for
+	// nodes that only relay Phases 2–3 of other groups' messages.
+	Group []proto.NodeID
+	// Hashes maps node IDs to identity hashes for virtual-source
+	// selection. It must cover every node in Group.
+	Hashes map[proto.NodeID][32]byte
+
+	// DCMode selects fixed or announce rounds (default ModeAnnounce).
+	DCMode dcnet.Mode
+	// DCSlotSize is the fixed-mode slot size (default 256).
+	DCSlotSize int
+	// DCInterval is the DC-net round interval (default 2 s).
+	DCInterval time.Duration
+	// DCPolicy is the Phase-1 failure policy (default PolicyBlame, the
+	// paper's recommended general-purpose default, §V-C).
+	DCPolicy dcnet.Policy
+	// Channels optionally supplies pairwise AEAD channels for Phase 1.
+	Channels map[proto.NodeID]*crypto.SecureChannel
+
+	// ADInterval is the adaptive-diffusion round interval (default
+	// 500 ms).
+	ADInterval time.Duration
+	// TreeDegree is the degree assumption for Alpha (0: use the current
+	// virtual source's degree).
+	TreeDegree int
+
+	// OnBlame and OnDissolve surface Phase-1 policy events.
+	OnBlame    func(ctx proto.Context, culprit proto.NodeID)
+	OnDissolve func(ctx proto.Context, reason string)
+}
+
+func (c *Config) applyDefaults() {
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.D == 0 {
+		c.D = 4
+	}
+	if c.DCInterval <= 0 {
+		c.DCInterval = 2 * time.Second
+	}
+	if c.ADInterval <= 0 {
+		c.ADInterval = 500 * time.Millisecond
+	}
+	if c.DCPolicy == 0 {
+		c.DCPolicy = dcnet.PolicyBlame
+	}
+	if c.DCMode == 0 {
+		c.DCMode = dcnet.ModeAnnounce
+	}
+	if c.DCSlotSize == 0 {
+		c.DCSlotSize = 256
+	}
+}
+
+// Configuration errors.
+var (
+	// ErrNoGroup indicates Broadcast was called on a groupless node.
+	ErrNoGroup = errors.New("core: node has no DC-net group")
+	// ErrMissingHash indicates a group member without an identity hash.
+	ErrMissingHash = errors.New("core: identity hash missing for group member")
+)
+
+// Protocol is one node's instance of the three-phase broadcast.
+type Protocol struct {
+	cfg    Config
+	member *dcnet.Member // nil when not in any group
+	ad     *adaptive.Engine
+	fl     *flood.Engine
+}
+
+var _ proto.Broadcaster = (*Protocol)(nil)
+
+// New builds a node protocol from the configuration.
+func New(cfg Config) (*Protocol, error) {
+	cfg.applyDefaults()
+	p := &Protocol{cfg: cfg, fl: flood.NewEngine()}
+	p.ad = adaptive.NewEngine(adaptive.Config{
+		D:              cfg.D,
+		RoundInterval:  cfg.ADInterval,
+		TreeDegree:     cfg.TreeDegree,
+		DeliverLocally: true,
+		Finisher:       (*finisher)(p),
+	})
+	for _, m := range cfg.Group {
+		if _, ok := cfg.Hashes[m]; !ok {
+			return nil, fmt.Errorf("%w: %d", ErrMissingHash, m)
+		}
+	}
+	return p, nil
+}
+
+// Init implements proto.Handler. The DC-net member is created lazily here
+// because the node ID (Context.Self) is only known at runtime.
+func (p *Protocol) Init(ctx proto.Context) {
+	if len(p.cfg.Group) == 0 {
+		return
+	}
+	member, err := dcnet.NewMember(dcnet.Config{
+		Self:     ctx.Self(),
+		Members:  p.cfg.Group,
+		Mode:     p.cfg.DCMode,
+		SlotSize: p.cfg.DCSlotSize,
+		Interval: p.cfg.DCInterval,
+		Policy:   p.cfg.DCPolicy,
+		Channels: p.cfg.Channels,
+		OnDeliver: func(ctx proto.Context, _ uint32, payload []byte) {
+			p.onGroupMessage(ctx, payload)
+		},
+		OnSendResult: func(ctx proto.Context, payload []byte, ok bool) {
+			if ok {
+				// The sender recovers 0, not its own message; run the
+				// same transition logic for its own payload.
+				p.onGroupMessage(ctx, payload)
+			}
+		},
+		OnBlame:    p.cfg.OnBlame,
+		OnDissolve: p.cfg.OnDissolve,
+	})
+	if err != nil {
+		// Configuration was validated in New for everything except
+		// group/self mismatches, which are wiring bugs.
+		panic(fmt.Sprintf("core: building DC-net member: %v", err))
+	}
+	p.member = member
+	member.Start(ctx)
+}
+
+// Member exposes the Phase-1 DC-net member (nil for groupless nodes).
+func (p *Protocol) Member() *dcnet.Member { return p.member }
+
+// Diffusion exposes the Phase-2 engine (tests, experiments).
+func (p *Protocol) Diffusion() *adaptive.Engine { return p.ad }
+
+// Flood exposes the Phase-3 engine (tests, experiments).
+func (p *Protocol) Flood() *flood.Engine { return p.fl }
+
+// Broadcast implements proto.Broadcaster: the payload enters the node's
+// DC-net group anonymously (Phase 1).
+func (p *Protocol) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, error) {
+	if p.member == nil {
+		return proto.MsgID{}, ErrNoGroup
+	}
+	id := proto.NewMsgID(payload)
+	if p.fl.Seen(id) || p.ad.State(id) != nil {
+		return id, nil
+	}
+	if err := p.member.Queue(payload); err != nil {
+		return proto.MsgID{}, fmt.Errorf("core: queueing broadcast: %w", err)
+	}
+	return id, nil
+}
+
+// onGroupMessage handles the Phase 1 → 2 transition at every group
+// member once the DC-net recovers a message.
+func (p *Protocol) onGroupMessage(ctx proto.Context, payload []byte) {
+	id := proto.NewMsgID(payload)
+	if p.ad.State(id) != nil || p.fl.Seen(id) {
+		return // duplicate recovery (e.g. retransmission after collision)
+	}
+	vs0 := p.virtualSource(payload)
+	if vs0 == ctx.Self() {
+		// §IV-B: the selected member starts adaptive diffusion "by
+		// balancing the graph around them".
+		p.ad.StartCenter(ctx, id, payload)
+		return
+	}
+	// Other group members hold the payload silently: they deliver
+	// locally (they possess the message) but do not spread it — doing so
+	// would reveal the group. They still forward the Phase-3 flood when
+	// it reaches them like any other node; marking the payload seen here
+	// would make group members flood barriers (on sparse topologies such
+	// as rings they would partition the broadcast).
+	ctx.DeliverLocal(id, payload)
+}
+
+// virtualSource returns the group member whose hashed identity is closest
+// to the message hash (§IV-B) — deterministic, verifiable by all members,
+// independent of the originator.
+func (p *Protocol) virtualSource(payload []byte) proto.NodeID {
+	target := crypto.HashPayload(payload)
+	best := proto.NoNode
+	var bestDist [32]byte
+	for _, m := range p.cfg.Group {
+		d := crypto.DistanceTo(p.cfg.Hashes[m], target)
+		if best == proto.NoNode || crypto.XORDistance(d, bestDist) < 0 {
+			best, bestDist = m, d
+		}
+	}
+	return best
+}
+
+// HandleMessage implements proto.Handler, routing to the three phases.
+func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	if p.member != nil && p.member.HandleMessage(ctx, from, msg) {
+		return
+	}
+	if p.ad.HandleMessage(ctx, from, msg) {
+		return
+	}
+	if m, ok := msg.(*flood.DataMsg); ok {
+		p.fl.HandleData(ctx, from, m)
+	}
+}
+
+// HandleTimer implements proto.Handler.
+func (p *Protocol) HandleTimer(ctx proto.Context, payload any) {
+	if p.member != nil && p.member.HandleTimer(ctx, payload) {
+		return
+	}
+	p.ad.HandleTimer(ctx, payload)
+}
+
+// finisher adapts the Phase 2 → 3 transition: when the final-spread
+// instruction reaches a node, boundary leaves start the flood while
+// interior nodes only mark the payload seen so the flood prunes there.
+type finisher Protocol
+
+var _ adaptive.Finisher = (*finisher)(nil)
+
+// OnFinal implements adaptive.Finisher.
+func (f *finisher) OnFinal(ctx proto.Context, id proto.MsgID, st *adaptive.State) {
+	p := (*Protocol)(f)
+	if !st.IsLeaf() {
+		p.fl.MarkSeen(id)
+		return
+	}
+	if !p.fl.MarkSeen(id) {
+		return // flood already passed through this node
+	}
+	// Leaves spread to everyone except the infection parent; duplicates
+	// prune at infected neighbors.
+	if st.Parent != proto.NoNode {
+		p.fl.Spread(ctx, id, st.Payload, 0, st.Parent)
+	} else {
+		p.fl.Spread(ctx, id, st.Payload, 0)
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/dcnet"
+	"repro/internal/flood"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// world is a full network running the composed protocol with one group.
+type world struct {
+	net    *sim.Network
+	protos []*Protocol
+	group  []proto.NodeID
+}
+
+func newWorld(t *testing.T, g *topology.Graph, group []proto.NodeID, seed uint64, mutate func(*Config)) *world {
+	t.Helper()
+	hashes := SimHashes(g.N())
+	w := &world{
+		net:    sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(2 * time.Millisecond)}),
+		protos: make([]*Protocol, g.N()),
+		group:  group,
+	}
+	inGroup := make(map[proto.NodeID]bool, len(group))
+	for _, m := range group {
+		inGroup[m] = true
+	}
+	w.net.SetHandlers(func(id proto.NodeID) proto.Handler {
+		cfg := Config{
+			K:          len(group),
+			D:          3,
+			Hashes:     hashes,
+			DCMode:     dcnet.ModeFixed,
+			DCSlotSize: 128,
+			DCInterval: 100 * time.Millisecond,
+			DCPolicy:   dcnet.PolicyNone,
+			ADInterval: 50 * time.Millisecond,
+		}
+		if inGroup[id] {
+			cfg.Group = group
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%d): %v", id, err)
+		}
+		w.protos[id] = p
+		return p
+	})
+	w.net.Start()
+	return w
+}
+
+func (w *world) run(d time.Duration) { w.net.RunUntil(w.net.Now() + d) }
+
+func testGraph(t *testing.T, n, d int, seed uint64) *topology.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed*7+1))
+	g, err := topology.RandomRegular(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// phaseTap records the first virtual time each message family was seen.
+type phaseTap struct {
+	firstDC, firstAD, firstFlood time.Duration
+}
+
+func (p *phaseTap) OnSend(at time.Duration, _, _ proto.NodeID, msg proto.Message) {
+	mark := func(t *time.Duration) {
+		if *t == 0 {
+			*t = at
+		}
+	}
+	switch msg.Type() & 0xff00 {
+	case proto.RangeDCNet:
+		mark(&p.firstDC)
+	case proto.RangeAdaptive:
+		mark(&p.firstAD)
+	case proto.RangeFlood:
+		mark(&p.firstFlood)
+	}
+}
+func (*phaseTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+
+func TestEndToEndDelivery(t *testing.T) {
+	g := testGraph(t, 100, 8, 1)
+	group := []proto.NodeID{3, 17, 42, 77, 99}
+	w := newWorld(t, g, group, 10, nil)
+
+	tap := &phaseTap{}
+	// Taps must be added before Start; rebuild with tap installed.
+	w = newWorldWithTap(t, g, group, 10, tap)
+
+	payload := []byte("the anonymous transaction")
+	id, err := w.net.Originate(17, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run(20 * time.Second)
+
+	if got := w.net.Delivered(id); got != 100 {
+		t.Fatalf("delivered to %d/100 nodes", got)
+	}
+	// All three phases produced traffic, in order (Fig. 5's shape).
+	if tap.firstDC == 0 || tap.firstAD == 0 || tap.firstFlood == 0 {
+		t.Fatalf("missing phase traffic: dc=%v ad=%v flood=%v", tap.firstDC, tap.firstAD, tap.firstFlood)
+	}
+	if !(tap.firstDC < tap.firstAD && tap.firstAD < tap.firstFlood) {
+		t.Errorf("phases out of order: dc=%v ad=%v flood=%v", tap.firstDC, tap.firstAD, tap.firstFlood)
+	}
+}
+
+func newWorldWithTap(t *testing.T, g *topology.Graph, group []proto.NodeID, seed uint64, tap sim.Tap) *world {
+	t.Helper()
+	hashes := SimHashes(g.N())
+	w := &world{
+		net:    sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(2 * time.Millisecond)}),
+		protos: make([]*Protocol, g.N()),
+		group:  group,
+	}
+	w.net.AddTap(tap)
+	inGroup := make(map[proto.NodeID]bool, len(group))
+	for _, m := range group {
+		inGroup[m] = true
+	}
+	w.net.SetHandlers(func(id proto.NodeID) proto.Handler {
+		cfg := Config{
+			K:          len(group),
+			D:          3,
+			Hashes:     hashes,
+			DCMode:     dcnet.ModeFixed,
+			DCSlotSize: 128,
+			DCInterval: 100 * time.Millisecond,
+			DCPolicy:   dcnet.PolicyNone,
+			ADInterval: 50 * time.Millisecond,
+		}
+		if inGroup[id] {
+			cfg.Group = group
+		}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%d): %v", id, err)
+		}
+		w.protos[id] = p
+		return p
+	})
+	w.net.Start()
+	return w
+}
+
+func TestVirtualSourceAgreementAndVerifiability(t *testing.T) {
+	g := testGraph(t, 50, 6, 2)
+	group := []proto.NodeID{1, 5, 9, 13, 21}
+	w := newWorld(t, g, group, 3, nil)
+	payload := []byte("some tx")
+	want := w.protos[1].virtualSource(payload)
+	for _, m := range group {
+		if got := w.protos[m].virtualSource(payload); got != want {
+			t.Errorf("member %d derives vs0=%d, member 1 derives %d", m, got, want)
+		}
+	}
+	// The winner must be a group member.
+	found := false
+	for _, m := range group {
+		if m == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vs0 %d not in group", want)
+	}
+}
+
+func TestDeliveryAcrossSeedsAndTopologies(t *testing.T) {
+	// The composed protocol must reach every node on every connected
+	// topology — the paper's delivery guarantee via Phase 3.
+	type tc struct {
+		name string
+		g    *topology.Graph
+	}
+	ring, err := topology.Ring(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := topology.WattsStrogatz(80, 6, 0.2, rand.New(rand.NewPCG(5, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Connected() {
+		t.Skip("WS instance disconnected; rerun with different seed")
+	}
+	cases := []tc{
+		{"regular", testGraph(t, 80, 6, 3)},
+		{"ring", ring},
+		{"smallworld", ws},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				group := []proto.NodeID{0, 7, 14, 21, 28}
+				w := newWorld(t, c.g, group, seed, nil)
+				id, err := w.net.Originate(7, []byte{byte(seed), 0xab})
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.run(30 * time.Second)
+				if got := w.net.Delivered(id); got != c.g.N() {
+					t.Errorf("seed %d: delivered %d/%d", seed, got, c.g.N())
+				}
+			}
+		})
+	}
+}
+
+func TestGrouplessNodeCannotBroadcast(t *testing.T) {
+	g := testGraph(t, 20, 4, 4)
+	group := []proto.NodeID{0, 1, 2, 3}
+	w := newWorld(t, g, group, 5, nil)
+	if _, err := w.net.Originate(10, []byte("x")); !errors.Is(err, ErrNoGroup) {
+		t.Errorf("groupless broadcast error = %v, want ErrNoGroup", err)
+	}
+}
+
+func TestDuplicateBroadcastNoOp(t *testing.T) {
+	g := testGraph(t, 30, 4, 6)
+	group := []proto.NodeID{2, 4, 6, 8}
+	w := newWorld(t, g, group, 7, nil)
+	id1, err := w.net.Originate(2, []byte("dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run(20 * time.Second)
+	if got := w.net.Delivered(id1); got != 30 {
+		t.Fatalf("delivered %d/30", got)
+	}
+	id2, err := w.net.Originate(2, []byte("dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Error("ids differ")
+	}
+	// The DC-net keeps running idle rounds, so total traffic grows; what
+	// must not happen is a second diffusion or flood for the same id.
+	floodMsgs := w.net.MessagesOfType(flood.TypeData)
+	adMsgs := w.net.MessagesOfType(adaptive.TypeInfect)
+	w.run(10 * time.Second)
+	if w.net.MessagesOfType(flood.TypeData) != floodMsgs {
+		t.Error("duplicate broadcast re-flooded the network")
+	}
+	if w.net.MessagesOfType(adaptive.TypeInfect) != adMsgs {
+		t.Error("duplicate broadcast re-infected the network")
+	}
+}
+
+func TestNonVSGroupMembersStaySilent(t *testing.T) {
+	// Group members other than the initial virtual source must not
+	// spread the payload before the flood reaches them — spreading would
+	// reveal the group (§IV-B). We check that no adaptive Infect message
+	// originates from a group member other than vs0.
+	g := testGraph(t, 60, 6, 8)
+	group := []proto.NodeID{10, 20, 30, 40, 50}
+	hashes := SimHashes(g.N())
+
+	// Determine vs0 for the payload using any member's logic.
+	payload := []byte("silent-members")
+	cfgProbe, err := New(Config{K: 5, Group: group, Hashes: hashes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs0 := cfgProbe.virtualSource(payload)
+
+	infectSenders := make(map[proto.NodeID]bool)
+	tap := sendTapFunc(func(_ time.Duration, from, _ proto.NodeID, msg proto.Message) {
+		if _, ok := msg.(*adaptive.InfectMsg); ok {
+			infectSenders[from] = true
+		}
+	})
+	firstInfector := proto.NoNode
+	tapFirst := sendTapFunc(func(_ time.Duration, from, _ proto.NodeID, msg proto.Message) {
+		if _, ok := msg.(*adaptive.InfectMsg); ok && firstInfector == proto.NoNode {
+			firstInfector = from
+		}
+	})
+	w := newWorldWithTap(t, g, group, 9, multiTap{tap, tapFirst})
+	if _, err := w.net.Originate(20, payload); err != nil {
+		t.Fatal(err)
+	}
+	w.run(20 * time.Second)
+
+	if !infectSenders[vs0] {
+		t.Errorf("vs0 %d never sent an Infect message", vs0)
+	}
+	if firstInfector != vs0 {
+		t.Errorf("first Infect came from %d, want vs0 %d — a group member leaked early", firstInfector, vs0)
+	}
+}
+
+// multiTap fans observations out to several taps.
+type multiTap []sim.Tap
+
+func (m multiTap) OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message) {
+	for _, t := range m {
+		t.OnSend(at, from, to, msg)
+	}
+}
+func (m multiTap) OnDeliverLocal(at time.Duration, node proto.NodeID, id proto.MsgID, payload []byte) {
+	for _, t := range m {
+		t.OnDeliverLocal(at, node, id, payload)
+	}
+}
+
+// sendTapFunc adapts a function to sim.Tap's OnSend.
+type sendTapFunc func(at time.Duration, from, to proto.NodeID, msg proto.Message)
+
+func (f sendTapFunc) OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message) {
+	f(at, from, to, msg)
+}
+func (sendTapFunc) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Group: []proto.NodeID{1, 2}, Hashes: nil}); !errors.Is(err, ErrMissingHash) {
+		t.Errorf("missing hashes: %v", err)
+	}
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatalf("groupless config rejected: %v", err)
+	}
+	if p.Member() != nil {
+		t.Error("groupless protocol has a member")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph(t, 50, 6, 11)
+	group := []proto.NodeID{5, 15, 25, 35, 45}
+	run := func() (int64, int) {
+		w := newWorld(t, g, group, 99, nil)
+		id, err := w.net.Originate(15, []byte("det"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.run(20 * time.Second)
+		return w.net.TotalMessages(), w.net.Delivered(id)
+	}
+	m1, d1 := run()
+	m2, d2 := run()
+	if m1 != m2 || d1 != d2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", m1, d1, m2, d2)
+	}
+	if d1 != 50 {
+		t.Errorf("delivered %d/50", d1)
+	}
+}

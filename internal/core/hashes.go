@@ -1,0 +1,23 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/proto"
+)
+
+// SimHashes derives deterministic identity hashes for simulated node IDs.
+// Simulation does not need real key pairs for virtual-source selection —
+// any collision-resistant hash of a stable identity has the same
+// distributional properties; the TCP node uses crypto.Identity.Hash().
+func SimHashes(n int) map[proto.NodeID][32]byte {
+	out := make(map[proto.NodeID][32]byte, n)
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(i))
+		copy(buf[4:], "node")
+		out[proto.NodeID(i)] = sha256.Sum256(buf[:])
+	}
+	return out
+}

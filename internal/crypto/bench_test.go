@@ -1,0 +1,81 @@
+package crypto
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+// BenchmarkChannelSealOpen measures the pairwise-channel cost per DC-net
+// share (256-byte slots).
+func BenchmarkChannelSealOpen(b *testing.B) {
+	kxA, err := NewKeyExchange(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kxB, err := NewKeyExchange(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chA, err := kxA.Channel(kxB.PublicBytes(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chB, err := kxB.Channel(kxA.PublicBytes(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	share := make([]byte, 256)
+	aad := []byte{1, 2, 3, 4, 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, err := chA.Seal(share, aad)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chB.Open(ct, aad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXORBytes measures the DC-net accumulation primitive.
+func BenchmarkXORBytes(b *testing.B) {
+	dst := make([]byte, 256)
+	src := make([]byte, 256)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		XORBytes(dst, src)
+	}
+}
+
+// BenchmarkCRC measures slot protection.
+func BenchmarkCRC(b *testing.B) {
+	payload := make([]byte, 252)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		protected := AppendCRC(payload)
+		if _, ok := CheckCRC(protected); !ok {
+			b.Fatal("CRC failed")
+		}
+	}
+}
+
+// BenchmarkClosestToTarget measures virtual-source selection at the
+// maximum group size 2k−1 = 19.
+func BenchmarkClosestToTarget(b *testing.B) {
+	ids := make([][32]byte, 19)
+	for i := range ids {
+		var seed [32]byte
+		seed[0] = byte(i)
+		ids[i] = IdentityFromSeed(seed).Hash()
+	}
+	target := HashPayload([]byte("tx"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ClosestToTarget(ids, target) < 0 {
+			b.Fatal("no winner")
+		}
+	}
+}

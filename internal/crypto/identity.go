@@ -1,0 +1,114 @@
+// Package crypto provides the cryptographic substrate the paper assumes:
+// node identities (Ed25519), pairwise encrypted channels between DC-net
+// group members (X25519 + HKDF + AES-GCM), hash commitments for the blame
+// protocol, CRC32 message protection for collision detection, and the
+// XOR-distance metric used to pick the initial virtual source from the
+// hash of a message ("the node whose hashed identity is closest to the
+// hash of the message", §IV-B).
+//
+// Everything is built from the Go standard library.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// Identity is a node's long-term key pair. The public key doubles as the
+// node's stable name on real networks; its SHA-256 is the coordinate used
+// in virtual-source selection.
+type Identity struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+	hash [32]byte
+}
+
+// NewIdentity generates an identity from the given entropy source (use
+// crypto/rand.Reader in production; deterministic readers in tests and
+// simulation).
+func NewIdentity(entropy io.Reader) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(entropy)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: generating identity: %w", err)
+	}
+	return identityFromKeys(pub, priv), nil
+}
+
+func identityFromKeys(pub ed25519.PublicKey, priv ed25519.PrivateKey) *Identity {
+	return &Identity{pub: pub, priv: priv, hash: sha256.Sum256(pub)}
+}
+
+// IdentityFromSeed derives a deterministic identity from a 32-byte seed.
+// Simulation uses this to give node i a reproducible key.
+func IdentityFromSeed(seed [32]byte) *Identity {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return identityFromKeys(priv.Public().(ed25519.PublicKey), priv)
+}
+
+// Public returns the public key.
+func (id *Identity) Public() ed25519.PublicKey { return id.pub }
+
+// Hash returns SHA-256 of the public key: the node's coordinate for
+// virtual-source selection.
+func (id *Identity) Hash() [32]byte { return id.hash }
+
+// Sign signs a message with the identity key.
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+
+// Verify checks a signature against a public key.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
+}
+
+// HashPayload returns SHA-256 of a broadcast payload: the message
+// coordinate for virtual-source selection.
+func HashPayload(payload []byte) [32]byte { return sha256.Sum256(payload) }
+
+// XORDistance compares two 32-byte hashes under the XOR metric and
+// returns -1, 0 or +1 as a < b, a == b, a > b. Smaller means closer to
+// the reference point that both were XORed against — callers pass
+// pre-XORed values or use CloserToTarget.
+func XORDistance(a, b [32]byte) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// DistanceTo returns the XOR distance value |id ⊕ target| as a comparable
+// 32-byte big-endian quantity.
+func DistanceTo(id, target [32]byte) [32]byte {
+	var d [32]byte
+	for i := range d {
+		d[i] = id[i] ^ target[i]
+	}
+	return d
+}
+
+// ClosestToTarget returns the index of the hash in ids closest to target
+// under the XOR metric. Ties cannot occur for distinct ids (XOR with a
+// fixed target is a bijection). It returns -1 for an empty slice.
+//
+// This implements the paper's verifiable transition from Phase 1 to
+// Phase 2: every group member evaluates it over the group's identity
+// hashes with target = HashPayload(message) and derives the same initial
+// virtual source with no extra messages.
+func ClosestToTarget(ids [][32]byte, target [32]byte) int {
+	best := -1
+	var bestDist [32]byte
+	for i, id := range ids {
+		d := DistanceTo(id, target)
+		if best == -1 || XORDistance(d, bestDist) < 0 {
+			best = i
+			bestDist = d
+		}
+	}
+	return best
+}

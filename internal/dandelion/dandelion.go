@@ -1,0 +1,195 @@
+// Package dandelion implements the Dandelion baseline (Bojja
+// Venkatakrishnan et al., POMACS 2017) discussed in §III-A: transactions
+// first travel a stem — a per-epoch random-successor line graph
+// approximating a Hamiltonian path — and then fluff into a regular
+// flood-and-prune broadcast with probability q per hop. The stem graph is
+// re-randomized every epoch "to protect against topology leaks".
+//
+// Robustness mechanics follow the published design: a fail-safe timer
+// fluffs a stem transaction whose broadcast never comes back, and a stem
+// loop (possible because random successors only approximate a Hamiltonian
+// path) triggers an immediate fluff.
+package dandelion
+
+import (
+	"time"
+
+	"repro/internal/flood"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// TypeStem is the wire type of stem-phase relays.
+const TypeStem = proto.RangeDandelion + 1
+
+// StemMsg relays a transaction along the anonymity stem.
+type StemMsg struct {
+	ID      proto.MsgID
+	Payload []byte
+}
+
+var _ wire.Encodable = (*StemMsg)(nil)
+
+// Type implements proto.Message.
+func (*StemMsg) Type() proto.MsgType { return TypeStem }
+
+// EncodeTo implements wire.Encodable.
+func (m *StemMsg) EncodeTo(w *wire.Writer) {
+	w.MsgID(m.ID)
+	w.ByteString(m.Payload)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *StemMsg) DecodeFrom(r *wire.Reader) error {
+	m.ID = r.MsgID()
+	m.Payload = r.ByteString()
+	return r.Err()
+}
+
+// RegisterMessages adds this package's messages to a codec.
+func RegisterMessages(c *wire.Codec) {
+	c.Register(TypeStem, func() wire.Encodable { return new(StemMsg) })
+}
+
+// Config parametrizes the protocol.
+type Config struct {
+	// Q is the per-hop fluff probability (default 0.1, giving a mean
+	// stem length of 1/q = 10 hops).
+	Q float64
+	// Epoch is the successor re-randomization interval (default 10 min).
+	Epoch time.Duration
+	// FailSafe fluffs a stem transaction if its broadcast has not been
+	// observed within this duration (default 30 s; 0 disables).
+	FailSafe time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Q <= 0 {
+		c.Q = 0.1
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = 10 * time.Minute
+	}
+	if c.FailSafe < 0 {
+		c.FailSafe = 0
+	}
+}
+
+// Timer payloads.
+type epochTimer struct{}
+type failSafeTimer struct{ id proto.MsgID }
+
+// Protocol is one node's Dandelion state.
+type Protocol struct {
+	cfg       Config
+	engine    *flood.Engine
+	successor proto.NodeID
+	stempool  map[proto.MsgID][]byte
+}
+
+var _ proto.Broadcaster = (*Protocol)(nil)
+
+// New returns a Dandelion node protocol.
+func New(cfg Config) *Protocol {
+	cfg.applyDefaults()
+	return &Protocol{
+		cfg:       cfg,
+		engine:    flood.NewEngine(),
+		successor: proto.NoNode,
+		stempool:  make(map[proto.MsgID][]byte),
+	}
+}
+
+// Successor exposes the current stem successor (tests, experiments).
+func (p *Protocol) Successor() proto.NodeID { return p.successor }
+
+// Init implements proto.Handler: picks the first successor and arms the
+// epoch timer.
+func (p *Protocol) Init(ctx proto.Context) {
+	p.pickSuccessor(ctx)
+	ctx.SetTimer(p.cfg.Epoch, epochTimer{})
+}
+
+func (p *Protocol) pickSuccessor(ctx proto.Context) {
+	nbs := ctx.Neighbors()
+	if len(nbs) == 0 {
+		p.successor = proto.NoNode
+		return
+	}
+	p.successor = nbs[ctx.Rand().IntN(len(nbs))]
+}
+
+// HandleTimer implements proto.Handler.
+func (p *Protocol) HandleTimer(ctx proto.Context, payload any) {
+	switch t := payload.(type) {
+	case epochTimer:
+		p.pickSuccessor(ctx)
+		ctx.SetTimer(p.cfg.Epoch, epochTimer{})
+	case failSafeTimer:
+		if pl, ok := p.stempool[t.id]; ok && !p.engine.Seen(t.id) {
+			p.fluff(ctx, t.id, pl)
+		}
+	}
+}
+
+// HandleMessage implements proto.Handler.
+func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	switch m := msg.(type) {
+	case *StemMsg:
+		p.handleStem(ctx, m)
+	case *flood.DataMsg:
+		p.engine.HandleData(ctx, from, m)
+	}
+}
+
+func (p *Protocol) handleStem(ctx proto.Context, m *StemMsg) {
+	if p.engine.Seen(m.ID) {
+		return // already fluffed network-wide; stem copy is stale
+	}
+	if _, looping := p.stempool[m.ID]; looping {
+		// The successor graph closed a cycle; break it by fluffing so
+		// delivery is still guaranteed.
+		p.fluff(ctx, m.ID, m.Payload)
+		return
+	}
+	p.stempool[m.ID] = m.Payload
+	ctx.DeliverLocal(m.ID, m.Payload)
+	p.stemOrFluff(ctx, m.ID, m.Payload)
+}
+
+// stemOrFluff advances the stem with probability 1−q, else fluffs.
+func (p *Protocol) stemOrFluff(ctx proto.Context, id proto.MsgID, payload []byte) {
+	if p.successor == proto.NoNode || ctx.Rand().Float64() < p.cfg.Q {
+		p.fluff(ctx, id, payload)
+		return
+	}
+	ctx.Send(p.successor, &StemMsg{ID: id, Payload: payload})
+	if p.cfg.FailSafe > 0 {
+		ctx.SetTimer(p.cfg.FailSafe, failSafeTimer{id: id})
+	}
+}
+
+// fluff switches the transaction to flood-and-prune.
+func (p *Protocol) fluff(ctx proto.Context, id proto.MsgID, payload []byte) {
+	if !p.engine.MarkSeen(id) {
+		return
+	}
+	ctx.DeliverLocal(id, payload)
+	p.engine.Spread(ctx, id, payload, 0)
+}
+
+// Broadcast implements proto.Broadcaster: the originator enters its own
+// transaction into the stem.
+func (p *Protocol) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, error) {
+	id := proto.NewMsgID(payload)
+	if p.engine.Seen(id) {
+		return id, nil
+	}
+	if _, ok := p.stempool[id]; ok {
+		return id, nil
+	}
+	p.stempool[id] = payload
+	ctx.DeliverLocal(id, payload)
+	p.stemOrFluff(ctx, id, payload)
+	return id, nil
+}

@@ -1,0 +1,179 @@
+package dandelion
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/flood"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func dandelionNet(t *testing.T, g *topology.Graph, cfg Config, seed uint64) (*sim.Network, []*Protocol) {
+	t.Helper()
+	net := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(5 * time.Millisecond)})
+	protos := make([]*Protocol, g.N())
+	net.SetHandlers(func(id proto.NodeID) proto.Handler {
+		protos[id] = New(cfg)
+		return protos[id]
+	})
+	net.Start()
+	return net, protos
+}
+
+func TestDeliveryToAllNodes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g, err := topology.RandomRegular(100, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		net, _ := dandelionNet(t, g, Config{Q: 0.1, FailSafe: 5 * time.Second}, seed)
+		id, err := net.Originate(proto.NodeID(seed%100), []byte{byte(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.RunUntil(net.Now() + 2*time.Minute)
+		if got := net.Delivered(id); got != 100 {
+			t.Errorf("seed %d: delivered to %d/100 nodes", seed, got)
+		}
+	}
+}
+
+// stemTap counts stem hops before the first flood message.
+type stemTap struct {
+	stemHops  int
+	fluffSeen bool
+}
+
+func (s *stemTap) OnSend(_ time.Duration, _, _ proto.NodeID, msg proto.Message) {
+	switch msg.(type) {
+	case *StemMsg:
+		if !s.fluffSeen {
+			s.stemHops++
+		}
+	case *flood.DataMsg:
+		s.fluffSeen = true
+	}
+}
+func (*stemTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+
+func TestStemLengthGeometric(t *testing.T) {
+	// With fluff probability q the stem length is geometric with mean
+	// ≈ 1/q (counting the hop decisions, loop/fail-safe aside).
+	rng := rand.New(rand.NewPCG(9, 9))
+	g, err := topology.RandomRegular(200, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 0.2
+	const trials = 300
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		net, _ := dandelionNet(t, g, Config{Q: q, FailSafe: time.Hour}, uint64(trial+1))
+		tap := &stemTap{}
+		// Tap must be registered before Start; rebuild with tap.
+		net = sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(5 * time.Millisecond)})
+		net.AddTap(tap)
+		net.SetHandlers(func(proto.NodeID) proto.Handler { return New(Config{Q: q, FailSafe: time.Hour}) })
+		net.Start()
+		if _, err := net.Originate(proto.NodeID(trial%200), []byte{byte(trial), byte(trial >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+		net.RunUntil(net.Now() + 2*time.Minute)
+		total += tap.stemHops
+	}
+	mean := float64(total) / trials
+	// Mean stem hops for geometric ≈ (1−q)/q = 4; allow wide tolerance
+	// (loops shorten stems on a finite graph).
+	if mean < 2.0 || mean > 6.0 {
+		t.Errorf("mean stem length = %v, want ≈ 4", mean)
+	}
+}
+
+func TestLoopFluffGuaranteesDeliveryWithQZeroish(t *testing.T) {
+	// With q ≈ 0 and no fail-safe, stems only end by looping; the
+	// loop-fluff rule must still deliver everywhere.
+	g, err := topology.Ring(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := dandelionNet(t, g, Config{Q: 1e-9, FailSafe: 0}, 5)
+	id, err := net.Originate(0, []byte("loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(net.Now() + 2*time.Minute)
+	if got := net.Delivered(id); got != 30 {
+		t.Errorf("delivered to %d/30 nodes", got)
+	}
+}
+
+func TestFailSafeFluffsAfterSuccessorCrash(t *testing.T) {
+	g, err := topology.Ring(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, protos := dandelionNet(t, g, Config{Q: 1e-9, FailSafe: 2 * time.Second}, 8)
+	succ := protos[0].Successor()
+	if succ == proto.NoNode {
+		t.Fatal("no successor")
+	}
+	net.Crash(succ)
+	id, err := net.Originate(0, []byte("fs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(net.Now() + 2*time.Minute)
+	// All nodes except the crashed successor must receive it.
+	if got := net.Delivered(id); got != 19 {
+		t.Errorf("delivered to %d/19 live nodes", got)
+	}
+	if _, ok := net.DeliveryTime(id, succ); ok {
+		t.Error("crashed node delivered")
+	}
+}
+
+func TestEpochRerandomizesSuccessor(t *testing.T) {
+	g, err := topology.Complete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, protos := dandelionNet(t, g, Config{Q: 0.1, Epoch: time.Second}, 11)
+	first := protos[3].Successor()
+	changed := false
+	for i := 0; i < 20; i++ {
+		net.RunUntil(net.Now() + time.Second + time.Millisecond)
+		if protos[3].Successor() != first {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("successor never re-randomized across 20 epochs (P ≈ (1/9)^20)")
+	}
+}
+
+func TestBroadcastIdempotent(t *testing.T) {
+	g, err := topology.Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := dandelionNet(t, g, Config{Q: 1, FailSafe: 0}, 2) // q=1: fluff immediately
+	id1, err := net.Originate(0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(net.Now() + 2*time.Minute)
+	before := net.TotalMessages()
+	id2, err := net.Originate(0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(net.Now() + 2*time.Minute)
+	if id1 != id2 || net.TotalMessages() != before {
+		t.Error("duplicate broadcast generated traffic")
+	}
+}

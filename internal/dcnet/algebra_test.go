@@ -1,0 +1,144 @@
+package dcnet
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto"
+)
+
+// execFig4 executes one round of the Fig. 4 algorithm purely in memory
+// for n members with the given contributions (nil = idle, i.e. zeros)
+// and returns what each member recovers as T ⊕ S.
+func execFig4(contribs [][]byte, slot int, rng *rand.Rand) [][]byte {
+	n := len(contribs)
+	// shares[j][i]: share member j sends to member i (i != j).
+	shares := make([][][]byte, n)
+	for j := range shares {
+		shares[j] = make([][]byte, n)
+		contrib := make([]byte, slot)
+		if contribs[j] != nil {
+			copy(contrib, contribs[j])
+		}
+		acc := make([]byte, slot)
+		last := -1
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			last = i
+		}
+		for i := 0; i < n; i++ {
+			if i == j || i == last {
+				continue
+			}
+			sh := make([]byte, slot)
+			for b := range sh {
+				sh[b] = byte(rng.Uint32())
+			}
+			shares[j][i] = sh
+			crypto.XORBytes(acc, sh)
+		}
+		final := make([]byte, slot)
+		copy(final, contrib)
+		crypto.XORBytes(final, acc)
+		shares[j][last] = final
+	}
+	// Step 4: S_i = ⊕_j shares[j][i].
+	s := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		s[i] = make([]byte, slot)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			crypto.XORBytes(s[i], shares[j][i])
+		}
+	}
+	// Step 5/6: member i sends S_i ⊕ shares[g_i][i] to g_i; member j
+	// collects t_{j,i} = S_i ⊕ shares[j][i].
+	// Step 7: T_j = ⊕_i t_{j,i}.
+	recovered := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		tj := make([]byte, slot)
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			ti := make([]byte, slot)
+			copy(ti, s[i])
+			crypto.XORBytes(ti, shares[j][i])
+			crypto.XORBytes(tj, ti)
+		}
+		// Step 9: m = T ⊕ S.
+		out := make([]byte, slot)
+		copy(out, tj)
+		crypto.XORBytes(out, s[j])
+		recovered[j] = out
+	}
+	return recovered
+}
+
+// TestFig4AlgebraProperty pins the invariant DESIGN.md documents: member
+// j recovers T ⊕ S = M ⊕ m_j where M is the XOR of all contributions —
+// for every group size 3..9 and every sender subset.
+func TestFig4AlgebraProperty(t *testing.T) {
+	f := func(seed uint64, senderMask uint16, n8 uint8) bool {
+		n := int(n8%7) + 3
+		const slot = 24
+		rng := rand.New(rand.NewPCG(seed, 0x1234))
+		contribs := make([][]byte, n)
+		global := make([]byte, slot)
+		for j := 0; j < n; j++ {
+			if senderMask&(1<<j) == 0 {
+				continue
+			}
+			c := make([]byte, slot)
+			for b := range c {
+				c[b] = byte(rng.Uint32())
+			}
+			contribs[j] = c
+			crypto.XORBytes(global, c)
+		}
+		recovered := execFig4(contribs, slot, rng)
+		for j := 0; j < n; j++ {
+			want := make([]byte, slot)
+			copy(want, global)
+			if contribs[j] != nil {
+				crypto.XORBytes(want, contribs[j])
+			}
+			if !bytes.Equal(recovered[j], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFig4SingleSenderRecovery is the headline case: exactly one sender,
+// every other member recovers the message, the sender recovers zero.
+func TestFig4SingleSenderRecovery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	const n, slot = 6, 32
+	msg := make([]byte, slot)
+	copy(msg, []byte("the anonymous message padded...."))
+	contribs := make([][]byte, n)
+	contribs[2] = msg
+	recovered := execFig4(contribs, slot, rng)
+	for j := 0; j < n; j++ {
+		if j == 2 {
+			if !crypto.IsZero(recovered[j]) {
+				t.Errorf("sender recovered nonzero: %x", recovered[j])
+			}
+			continue
+		}
+		if !bytes.Equal(recovered[j], msg) {
+			t.Errorf("member %d recovered %x", j, recovered[j])
+		}
+	}
+}

@@ -1,0 +1,775 @@
+// Package dcnet implements Phase 1 of the paper: the dining-cryptographers
+// network of Fig. 4. A group of g ∈ [k, 2k−1] members runs synchronized
+// rounds of three pairwise XOR exchanges; any single member can transmit
+// one anonymous message per round, collisions are detected by CRC and
+// resolved with randomized backoff, and the group recovers
+//
+//	T ⊕ S = M ⊕ m_j
+//
+// at member j, where M is the XOR of all contributions — so with a unique
+// sender every other member recovers the message and the sender recovers 0
+// (its success signal).
+//
+// Two round modes exist. ModeFixed sends a full-size slot every round.
+// ModeAnnounce implements the §V-A optimization: idle rounds shrink to an
+// 8-byte announcement slot ("an integer representing the length of the
+// next message … protected by CRC bits"); a valid announcement reserves
+// the next round as a data round of exactly the announced size.
+//
+// The stronger-attacker extension of §V-C is available as Policy settings:
+// PolicyBlame runs a von-Ahn-style commitment/reveal protocol that
+// identifies a disruptor after repeated collisions; PolicyDissolve simply
+// reports the group as burned so the membership layer can re-form it.
+package dcnet
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/proto"
+)
+
+// Mode selects the round layout.
+type Mode int
+
+// Round modes.
+const (
+	// ModeFixed sends a fixed-size slot every round.
+	ModeFixed Mode = iota + 1
+	// ModeAnnounce alternates 8-byte announcement rounds with exact-size
+	// data rounds (§V-A optimization).
+	ModeAnnounce
+)
+
+// Policy selects the reaction to repeated round failures (§V-C).
+type Policy int
+
+// Failure policies.
+const (
+	// PolicyNone ignores repeated failures (pure honest-but-curious).
+	PolicyNone Policy = iota + 1
+	// PolicyDissolve reports the group as burned after the threshold.
+	PolicyDissolve
+	// PolicyBlame runs the commitment/reveal protocol to identify the
+	// disruptor, then reports it. Adds one CommitMsg per peer per round.
+	PolicyBlame
+)
+
+// Config parametrizes one group member.
+type Config struct {
+	// Self is this member's node ID; it must appear in Members.
+	Self proto.NodeID
+	// Members is the full group, in any order (sorted internally).
+	Members []proto.NodeID
+	// Mode selects fixed or announce rounds (default ModeAnnounce).
+	Mode Mode
+	// SlotSize is the fixed-mode slot size in bytes, including the
+	// 8-byte framing overhead (default 256).
+	SlotSize int
+	// MaxPayload bounds a single anonymous message (default SlotSize−8
+	// in fixed mode, 64 KiB in announce mode).
+	MaxPayload int
+	// Interval is the nominal spacing of round starts (default 2s),
+	// "chosen suitably for the expected activity in the network" (§V-A).
+	Interval time.Duration
+	// Timeout aborts the group if a round stalls longer than this
+	// (crashed member). Zero disables.
+	Timeout time.Duration
+	// Policy is the failure reaction (default PolicyDissolve).
+	Policy Policy
+	// FailureThreshold is the number of consecutive failed rounds that
+	// triggers the policy (default 4).
+	FailureThreshold int
+	// MaxBackoffExp caps the collision backoff window at 2^exp rounds
+	// (default 6).
+	MaxBackoffExp int
+	// Channels optionally provides pairwise AEAD channels keyed by peer;
+	// when set, shares are encrypted in transit.
+	Channels map[proto.NodeID]*crypto.SecureChannel
+	// Disrupt makes this member contribute random garbage every round —
+	// an attacker for experiments (E11); it still follows the message
+	// flow (honest-but-curious form, malicious content).
+	Disrupt bool
+
+	// OnDeliver receives each recovered anonymous message. Duplicates
+	// are possible across retries; callers dedup by content.
+	OnDeliver func(ctx proto.Context, round uint32, payload []byte)
+	// OnSendResult reports whether a queued payload went through.
+	OnSendResult func(ctx proto.Context, payload []byte, ok bool)
+	// OnBlame reports an identified disruptor (PolicyBlame).
+	OnBlame func(ctx proto.Context, culprit proto.NodeID)
+	// OnDissolve reports that the group burned (policy or timeout).
+	OnDissolve func(ctx proto.Context, reason string)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Mode == 0 {
+		c.Mode = ModeAnnounce
+	}
+	if c.SlotSize == 0 {
+		c.SlotSize = 256
+	}
+	if c.SlotSize < SlotOverhead+1 {
+		return fmt.Errorf("dcnet: SlotSize %d below minimum %d", c.SlotSize, SlotOverhead+1)
+	}
+	if c.MaxPayload == 0 {
+		if c.Mode == ModeFixed {
+			c.MaxPayload = c.SlotSize - SlotOverhead
+		} else {
+			c.MaxPayload = 64 << 10
+		}
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Policy == 0 {
+		c.Policy = PolicyDissolve
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 4
+	}
+	if c.MaxBackoffExp <= 0 {
+		c.MaxBackoffExp = 6
+	}
+	return nil
+}
+
+// Queue/lifecycle errors.
+var (
+	// ErrStopped indicates the member dissolved or was stopped.
+	ErrStopped = errors.New("dcnet: member stopped")
+	// ErrNotMember indicates Self was missing from Members.
+	ErrNotMember = errors.New("dcnet: Self not in Members")
+	// ErrGroupTooSmall indicates fewer than two members.
+	ErrGroupTooSmall = errors.New("dcnet: group needs at least 2 members")
+)
+
+// roundKind is the layout of one round.
+type roundKind struct {
+	announce bool
+	dataLen  int // valid when !announce in ModeAnnounce
+}
+
+// roundState tracks one round's exchanges.
+type roundState struct {
+	number  uint32
+	kind    roundKind
+	started bool
+	slot    int // slot size in bytes
+
+	sent       bool   // I contributed a non-zero slot
+	myContrib  []byte // my slot contribution (zeros if idle)
+	myShares   [][]byte
+	mySalts    [][]byte
+	gotShares  map[proto.NodeID][]byte
+	gotSPart   map[proto.NodeID][]byte
+	gotTPart   map[proto.NodeID][]byte
+	gotCommits map[proto.NodeID][][32]byte
+	gotReveals map[proto.NodeID]*RevealMsg
+
+	s, t       []byte
+	sSent      bool
+	tSent      bool
+	complete   bool
+	failed     bool
+	timeoutID  proto.TimerID
+	hasTimeout bool
+}
+
+// Timer payloads.
+type roundTimer struct{ round uint32 }
+type timeoutTimer struct{ round uint32 }
+
+// Member is one node's participation in one DC-net group. It is driven
+// by a proto.Context via Start/HandleMessage/HandleTimer and is not safe
+// for concurrent use (runtimes serialize handler calls).
+type Member struct {
+	cfg     Config
+	members []proto.NodeID // sorted, includes self
+	peers   []proto.NodeID // sorted, excludes self
+
+	rounds    map[uint32]*roundState
+	nextKind  roundKind
+	reserved  bool // I won the announcement; next data round is mine
+	current   uint32
+	deferred  uint32 // round whose timer fired before current completed
+	startedAt time.Duration
+	running   bool
+	stopped   bool
+
+	queue   [][]byte
+	retries int
+	backoff int
+
+	consecFailures int
+	blameRound     uint32 // nonzero while a blame phase is active
+	blamed         map[proto.NodeID]bool
+
+	// Stats, exposed for experiments.
+	RoundsCompleted int
+	Collisions      int
+	Delivered       int
+	BlamePhases     int
+}
+
+// NewMember validates the configuration and returns a Member.
+func NewMember(cfg Config) (*Member, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Members) < 2 {
+		return nil, ErrGroupTooSmall
+	}
+	members := slices.Clone(cfg.Members)
+	slices.Sort(members)
+	members = slices.Compact(members)
+	if !slices.Contains(members, cfg.Self) {
+		return nil, ErrNotMember
+	}
+	peers := make([]proto.NodeID, 0, len(members)-1)
+	for _, id := range members {
+		if id != cfg.Self {
+			peers = append(peers, id)
+		}
+	}
+	m := &Member{
+		cfg:      cfg,
+		members:  members,
+		peers:    peers,
+		rounds:   make(map[uint32]*roundState),
+		nextKind: initialKind(cfg.Mode),
+		blamed:   make(map[proto.NodeID]bool),
+	}
+	return m, nil
+}
+
+func initialKind(mode Mode) roundKind {
+	if mode == ModeAnnounce {
+		return roundKind{announce: true}
+	}
+	return roundKind{}
+}
+
+// GroupSize returns the number of members including self.
+func (m *Member) GroupSize() int { return len(m.members) }
+
+// Members returns the sorted group membership.
+func (m *Member) Members() []proto.NodeID { return slices.Clone(m.members) }
+
+// Pending returns the number of queued outbound payloads.
+func (m *Member) Pending() int { return len(m.queue) }
+
+// Stopped reports whether the member has dissolved or been stopped.
+func (m *Member) Stopped() bool { return m.stopped }
+
+// Start begins round scheduling. Call once from the handler's Init.
+func (m *Member) Start(ctx proto.Context) {
+	if m.running || m.stopped {
+		return
+	}
+	m.running = true
+	m.startedAt = ctx.Now()
+	m.scheduleRound(ctx, 1)
+}
+
+// Stop permanently halts participation.
+func (m *Member) Stop() {
+	m.stopped = true
+	m.running = false
+}
+
+// Queue submits a payload for anonymous transmission. It will be sent in
+// the next free slot, possibly after collisions and backoff.
+func (m *Member) Queue(payload []byte) error {
+	if m.stopped {
+		return ErrStopped
+	}
+	if len(payload) == 0 {
+		return errors.New("dcnet: empty payload")
+	}
+	if len(payload) > m.cfg.MaxPayload {
+		return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), m.cfg.MaxPayload)
+	}
+	m.queue = append(m.queue, slices.Clone(payload))
+	return nil
+}
+
+func (m *Member) scheduleRound(ctx proto.Context, round uint32) {
+	nominal := m.startedAt + time.Duration(round)*m.cfg.Interval
+	delay := nominal - ctx.Now()
+	ctx.SetTimer(delay, roundTimer{round: round})
+}
+
+// HandleTimer processes this package's timers; it reports whether the
+// payload belonged to it.
+func (m *Member) HandleTimer(ctx proto.Context, payload any) bool {
+	switch t := payload.(type) {
+	case roundTimer:
+		if m.stopped {
+			return true
+		}
+		if t.round > 1 {
+			if prev := m.rounds[t.round-1]; prev != nil && !prev.complete {
+				// Previous round still in flight: start as soon as it
+				// finishes to preserve announce/data alternation.
+				m.deferred = t.round
+				return true
+			}
+		}
+		m.startRound(ctx, t.round)
+		return true
+	case timeoutTimer:
+		if m.stopped {
+			return true
+		}
+		rs := m.rounds[t.round]
+		if rs != nil && !rs.complete {
+			m.dissolve(ctx, fmt.Sprintf("round %d timed out", t.round))
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// HandleMessage processes DC-net messages; it reports whether the message
+// was consumed.
+func (m *Member) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) bool {
+	switch mm := msg.(type) {
+	case *ShareMsg:
+		m.onShare(ctx, from, mm)
+	case *SPartialMsg:
+		m.onSPartial(ctx, from, mm)
+	case *TPartialMsg:
+		m.onTPartial(ctx, from, mm)
+	case *CommitMsg:
+		m.onCommit(ctx, from, mm)
+	case *RevealMsg:
+		m.onReveal(ctx, from, mm)
+	default:
+		return false
+	}
+	return true
+}
+
+func (m *Member) isPeer(id proto.NodeID) bool { return slices.Contains(m.peers, id) }
+
+func (m *Member) round(n uint32) *roundState {
+	rs := m.rounds[n]
+	if rs == nil {
+		rs = &roundState{
+			number:     n,
+			gotShares:  make(map[proto.NodeID][]byte),
+			gotSPart:   make(map[proto.NodeID][]byte),
+			gotTPart:   make(map[proto.NodeID][]byte),
+			gotCommits: make(map[proto.NodeID][][32]byte),
+			gotReveals: make(map[proto.NodeID]*RevealMsg),
+		}
+		m.rounds[n] = rs
+	}
+	return rs
+}
+
+// slotSizeFor resolves the slot size of the upcoming round.
+func (m *Member) slotSizeFor(kind roundKind) int {
+	if m.cfg.Mode == ModeFixed {
+		return m.cfg.SlotSize
+	}
+	if kind.announce {
+		return AnnounceSlotSize
+	}
+	return kind.dataLen
+}
+
+// wantsAnnounce reports whether this member should bid in an announce
+// round (has traffic and is not backing off).
+func (m *Member) wantsAnnounce() bool {
+	return len(m.queue) > 0 && m.backoff == 0
+}
+
+func (m *Member) startRound(ctx proto.Context, n uint32) {
+	rs := m.round(n)
+	if rs.started {
+		return
+	}
+	rs.started = true
+	rs.kind = m.nextKind
+	rs.slot = m.slotSizeFor(rs.kind)
+	m.current = n
+
+	// Decide contribution.
+	contrib := make([]byte, rs.slot)
+	switch {
+	case m.cfg.Disrupt:
+		// Attacker: random garbage every round (liveness attack, §V-C).
+		fillRandom(ctx, contrib)
+		rs.sent = true
+	case m.cfg.Mode == ModeFixed:
+		if len(m.queue) > 0 {
+			if m.backoff > 0 {
+				m.backoff--
+			} else {
+				slot, err := packSlot(m.queue[0], rs.slot)
+				if err == nil {
+					contrib = slot
+					rs.sent = true
+				}
+			}
+		}
+	case rs.kind.announce:
+		if m.wantsAnnounce() {
+			dataLen := len(m.queue[0]) + crypto.CRCSize
+			copy(contrib, packAnnounce(uint32(dataLen)))
+			rs.sent = true
+		} else if len(m.queue) > 0 && m.backoff > 0 {
+			m.backoff--
+		}
+	default: // data round
+		if m.reserved && len(m.queue) > 0 {
+			data := crypto.AppendCRC(m.queue[0])
+			if len(data) == rs.slot {
+				copy(contrib, data)
+				rs.sent = true
+			}
+		}
+	}
+	rs.myContrib = contrib
+
+	// Split the contribution into len(peers) shares XOR-ing to it.
+	rs.myShares = make([][]byte, len(m.peers))
+	acc := make([]byte, rs.slot)
+	for i := 0; i < len(m.peers)-1; i++ {
+		sh := make([]byte, rs.slot)
+		fillRandom(ctx, sh)
+		rs.myShares[i] = sh
+		crypto.XORBytes(acc, sh)
+	}
+	last := make([]byte, rs.slot)
+	copy(last, contrib)
+	crypto.XORBytes(last, acc)
+	rs.myShares[len(m.peers)-1] = last
+
+	// Blame mode: commit to the shares before sending them.
+	if m.cfg.Policy == PolicyBlame {
+		rs.mySalts = make([][]byte, len(m.peers))
+		digests := make([][32]byte, len(m.peers))
+		for i := range m.peers {
+			salt := make([]byte, crypto.SaltSize)
+			fillRandom(ctx, salt)
+			rs.mySalts[i] = salt
+			digests[i] = crypto.Commit(rs.myShares[i], salt)
+		}
+		commit := &CommitMsg{Round: n, Digests: digests}
+		for _, p := range m.peers {
+			ctx.Send(p, commit)
+		}
+	}
+
+	// Step 2: send share rᵢ to gᵢ.
+	for i, p := range m.peers {
+		data := rs.myShares[i]
+		if ch := m.cfg.Channels[p]; ch != nil {
+			sealed, err := ch.Seal(data, shareAAD(n))
+			if err != nil {
+				m.dissolve(ctx, fmt.Sprintf("sealing share: %v", err))
+				return
+			}
+			data = sealed
+		}
+		ctx.Send(p, &ShareMsg{Round: n, Data: data})
+	}
+
+	if m.cfg.Timeout > 0 {
+		rs.timeoutID = ctx.SetTimer(m.cfg.Timeout, timeoutTimer{round: n})
+		rs.hasTimeout = true
+	}
+	m.scheduleRound(ctx, n+1)
+	m.tryAdvance(ctx, rs)
+}
+
+func shareAAD(round uint32) []byte {
+	return []byte{byte(round), byte(round >> 8), byte(round >> 16), byte(round >> 24), 0x01}
+}
+
+// fillRandom fills b from the node's deterministic random source. Real
+// deployments seed the runtime with crypto/rand-derived entropy.
+func fillRandom(ctx proto.Context, b []byte) {
+	rng := ctx.Rand()
+	for i := range b {
+		b[i] = byte(rng.Uint32())
+	}
+}
+
+func (m *Member) onShare(ctx proto.Context, from proto.NodeID, msg *ShareMsg) {
+	if m.stopped || !m.isPeer(from) {
+		return
+	}
+	rs := m.round(msg.Round)
+	if _, dup := rs.gotShares[from]; dup {
+		return
+	}
+	data := msg.Data
+	if ch := m.cfg.Channels[from]; ch != nil {
+		pt, err := ch.Open(data, shareAAD(msg.Round))
+		if err != nil {
+			m.dissolve(ctx, fmt.Sprintf("share from %d failed auth: %v", from, err))
+			return
+		}
+		data = pt
+	}
+	rs.gotShares[from] = data
+	m.tryAdvance(ctx, rs)
+}
+
+func (m *Member) onSPartial(ctx proto.Context, from proto.NodeID, msg *SPartialMsg) {
+	if m.stopped || !m.isPeer(from) {
+		return
+	}
+	rs := m.round(msg.Round)
+	if _, dup := rs.gotSPart[from]; dup {
+		return
+	}
+	rs.gotSPart[from] = msg.Data
+	m.tryAdvance(ctx, rs)
+}
+
+func (m *Member) onTPartial(ctx proto.Context, from proto.NodeID, msg *TPartialMsg) {
+	if m.stopped || !m.isPeer(from) {
+		return
+	}
+	rs := m.round(msg.Round)
+	if _, dup := rs.gotTPart[from]; dup {
+		return
+	}
+	rs.gotTPart[from] = msg.Data
+	m.tryAdvance(ctx, rs)
+}
+
+// tryAdvance drives the round state machine as inputs arrive. Steps 3–9
+// of Fig. 4.
+func (m *Member) tryAdvance(ctx proto.Context, rs *roundState) {
+	if !rs.started || rs.complete || m.stopped {
+		return
+	}
+	n := len(m.peers)
+	// Step 4: S = ⊕ sᵢ once all shares are in; step 5: send S ⊕ sᵢ.
+	if !rs.sSent && len(rs.gotShares) == n && m.sizesOK(rs, rs.gotShares) {
+		rs.s = make([]byte, rs.slot)
+		for _, sh := range rs.gotShares {
+			crypto.XORBytes(rs.s, sh)
+		}
+		for _, p := range m.peers {
+			out := make([]byte, rs.slot)
+			copy(out, rs.s)
+			crypto.XORBytes(out, rs.gotShares[p])
+			ctx.Send(p, &SPartialMsg{Round: rs.number, Data: out})
+		}
+		rs.sSent = true
+	}
+	// Step 7: T = ⊕ tᵢ; step 8: send T ⊕ tᵢ.
+	if rs.sSent && !rs.tSent && len(rs.gotSPart) == n && m.sizesOK(rs, rs.gotSPart) {
+		rs.t = make([]byte, rs.slot)
+		for _, sp := range rs.gotSPart {
+			crypto.XORBytes(rs.t, sp)
+		}
+		for _, p := range m.peers {
+			out := make([]byte, rs.slot)
+			copy(out, rs.t)
+			crypto.XORBytes(out, rs.gotSPart[p])
+			ctx.Send(p, &TPartialMsg{Round: rs.number, Data: out})
+		}
+		rs.tSent = true
+	}
+	// Step 9: recover m = T ⊕ S once the final exchange closes.
+	if rs.tSent && !rs.complete && len(rs.gotTPart) == n && m.sizesOK(rs, rs.gotTPart) {
+		rs.complete = true
+		if rs.hasTimeout {
+			ctx.CancelTimer(rs.timeoutID)
+		}
+		recovered := make([]byte, rs.slot)
+		copy(recovered, rs.t)
+		crypto.XORBytes(recovered, rs.s)
+		m.finishRound(ctx, rs, recovered)
+	}
+}
+
+// sizesOK verifies all collected buffers match the round's slot size.
+func (m *Member) sizesOK(rs *roundState, got map[proto.NodeID][]byte) bool {
+	for _, b := range got {
+		if len(b) != rs.slot {
+			return false
+		}
+	}
+	return true
+}
+
+// finishRound interprets the recovered value, updates collision and
+// policy state, and rolls the round sequence forward.
+func (m *Member) finishRound(ctx proto.Context, rs *roundState, recovered []byte) {
+	m.RoundsCompleted++
+
+	failed := false
+	nextKind := initialKind(m.cfg.Mode)
+	wasReserved := m.reserved
+	m.reserved = false
+
+	switch {
+	case m.cfg.Mode == ModeFixed:
+		failed = m.finishFixed(ctx, rs, recovered)
+	case rs.kind.announce:
+		failed, nextKind = m.finishAnnounce(ctx, rs, recovered)
+	default:
+		failed = m.finishData(ctx, rs, recovered, wasReserved)
+	}
+	if m.cfg.Mode == ModeAnnounce {
+		m.nextKind = nextKind
+	}
+
+	if failed {
+		rs.failed = true
+		m.consecFailures++
+		m.Collisions++
+	} else {
+		m.consecFailures = 0
+	}
+
+	if m.consecFailures >= m.cfg.FailureThreshold {
+		m.consecFailures = 0
+		switch m.cfg.Policy {
+		case PolicyDissolve:
+			m.dissolve(ctx, fmt.Sprintf("%d consecutive failed rounds", m.cfg.FailureThreshold))
+			return
+		case PolicyBlame:
+			m.startBlame(ctx, rs.number)
+		}
+	}
+
+	m.gc(rs.number)
+	if m.deferred == rs.number+1 {
+		next := m.deferred
+		m.deferred = 0
+		m.startRound(ctx, next)
+	}
+}
+
+// finishFixed handles a fixed-mode round outcome; reports failure.
+func (m *Member) finishFixed(ctx proto.Context, rs *roundState, recovered []byte) bool {
+	if rs.sent && !m.cfg.Disrupt {
+		if isZeroSlot(recovered) {
+			m.sendSucceeded(ctx)
+			return false
+		}
+		// Collision: if exactly one other member sent, their message is
+		// recoverable here (M ⊕ m_j); deliver it, then back off and retry.
+		if payload, ok := unpackSlot(recovered); ok {
+			m.deliver(ctx, rs.number, payload)
+		}
+		m.sendFailed(ctx)
+		return true
+	}
+	if isZeroSlot(recovered) {
+		return false // idle round
+	}
+	if payload, ok := unpackSlot(recovered); ok {
+		m.deliver(ctx, rs.number, payload)
+		return false
+	}
+	return true // collision garbage
+}
+
+// finishAnnounce handles an announcement round; returns (failed, next kind).
+func (m *Member) finishAnnounce(ctx proto.Context, rs *roundState, recovered []byte) (bool, roundKind) {
+	if rs.sent && !m.cfg.Disrupt {
+		if isZeroSlot(recovered) {
+			// My announcement went through alone: the next round is my
+			// data round.
+			dataLen := len(m.queue[0]) + crypto.CRCSize
+			m.reserved = true
+			return false, roundKind{dataLen: dataLen}
+		}
+		m.sendFailed(ctx)
+		return true, roundKind{announce: true}
+	}
+	if isZeroSlot(recovered) {
+		return false, roundKind{announce: true}
+	}
+	if l, ok := unpackAnnounce(recovered); ok && l > 0 && int(l) <= m.cfg.MaxPayload+crypto.CRCSize {
+		return false, roundKind{dataLen: int(l)}
+	}
+	return true, roundKind{announce: true}
+}
+
+// finishData handles a data round; reports failure.
+func (m *Member) finishData(ctx proto.Context, rs *roundState, recovered []byte, mine bool) bool {
+	if mine && rs.sent && !m.cfg.Disrupt {
+		if isZeroSlot(recovered) {
+			m.sendSucceeded(ctx)
+			return false
+		}
+		m.sendFailed(ctx)
+		return true
+	}
+	if isZeroSlot(recovered) {
+		// Reserved sender went silent; not a collision, just wasted.
+		return false
+	}
+	if payload, ok := crypto.CheckCRC(recovered); ok {
+		m.deliver(ctx, rs.number, payload)
+		return false
+	}
+	return true
+}
+
+func (m *Member) deliver(ctx proto.Context, round uint32, payload []byte) {
+	m.Delivered++
+	if m.cfg.OnDeliver != nil {
+		m.cfg.OnDeliver(ctx, round, slices.Clone(payload))
+	}
+}
+
+func (m *Member) sendSucceeded(ctx proto.Context) {
+	payload := m.queue[0]
+	m.queue = m.queue[1:]
+	m.retries = 0
+	m.backoff = 0
+	if m.cfg.OnSendResult != nil {
+		m.cfg.OnSendResult(ctx, payload, true)
+	}
+}
+
+func (m *Member) sendFailed(ctx proto.Context) {
+	m.retries++
+	exp := m.retries
+	if exp > m.cfg.MaxBackoffExp {
+		exp = m.cfg.MaxBackoffExp
+	}
+	// Uniform backoff over [0, 2^exp) eligible rounds.
+	m.backoff = ctx.Rand().IntN(1 << exp)
+}
+
+func (m *Member) dissolve(ctx proto.Context, reason string) {
+	if m.stopped {
+		return
+	}
+	m.Stop()
+	if m.cfg.OnDissolve != nil {
+		m.cfg.OnDissolve(ctx, reason)
+	}
+}
+
+// gc drops round state old enough to be outside any blame window.
+func (m *Member) gc(completed uint32) {
+	horizon := uint32(m.cfg.FailureThreshold + 2)
+	if completed <= horizon {
+		return
+	}
+	cutoff := completed - horizon
+	for n, rs := range m.rounds {
+		if n < cutoff && rs.complete && (m.blameRound == 0 || n != m.blameRound) {
+			delete(m.rounds, n)
+		}
+	}
+}

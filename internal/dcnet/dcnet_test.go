@@ -1,0 +1,460 @@
+package dcnet
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// memberHandler adapts a Member to proto.Handler.
+type memberHandler struct{ m *Member }
+
+func (h *memberHandler) Init(ctx proto.Context) { h.m.Start(ctx) }
+func (h *memberHandler) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	h.m.HandleMessage(ctx, from, msg)
+}
+func (h *memberHandler) HandleTimer(ctx proto.Context, payload any) {
+	h.m.HandleTimer(ctx, payload)
+}
+
+// groupHarness wires n members over a clique and records outcomes.
+type groupHarness struct {
+	net       *sim.Network
+	members   []*Member
+	received  []map[string]int // per member: payload -> delivery count
+	sendOK    []int
+	sendFail  []int
+	blames    []map[proto.NodeID]int
+	dissolved []string
+}
+
+func newGroup(t *testing.T, n int, mutate func(i int, cfg *Config)) *groupHarness {
+	t.Helper()
+	g, err := topology.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &groupHarness{
+		net:       sim.NewNetwork(g, sim.Options{Seed: 77, Latency: sim.ConstLatency(5 * time.Millisecond)}),
+		members:   make([]*Member, n),
+		received:  make([]map[string]int, n),
+		sendOK:    make([]int, n),
+		sendFail:  make([]int, n),
+		blames:    make([]map[proto.NodeID]int, n),
+		dissolved: make([]string, n),
+	}
+	all := make([]proto.NodeID, n)
+	for i := range all {
+		all[i] = proto.NodeID(i)
+	}
+	h.net.SetHandlers(func(id proto.NodeID) proto.Handler {
+		i := int(id)
+		h.received[i] = make(map[string]int)
+		h.blames[i] = make(map[proto.NodeID]int)
+		cfg := Config{
+			Self:     id,
+			Members:  all,
+			Mode:     ModeFixed,
+			SlotSize: 64,
+			Interval: 100 * time.Millisecond,
+			Policy:   PolicyNone,
+			OnDeliver: func(_ proto.Context, _ uint32, payload []byte) {
+				h.received[i][string(payload)]++
+			},
+			OnSendResult: func(_ proto.Context, _ []byte, ok bool) {
+				if ok {
+					h.sendOK[i]++
+				} else {
+					h.sendFail[i]++
+				}
+			},
+			OnBlame: func(_ proto.Context, culprit proto.NodeID) {
+				h.blames[i][culprit]++
+			},
+			OnDissolve: func(_ proto.Context, reason string) {
+				h.dissolved[i] = reason
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		m, err := NewMember(cfg)
+		if err != nil {
+			t.Fatalf("NewMember(%d): %v", i, err)
+		}
+		h.members[i] = m
+		return &memberHandler{m: m}
+	})
+	h.net.Start()
+	return h
+}
+
+func (h *groupHarness) runRounds(rounds int) {
+	h.net.RunUntil(h.net.Now() + time.Duration(rounds)*100*time.Millisecond + 50*time.Millisecond)
+}
+
+func TestSingleSenderFixedMode(t *testing.T) {
+	h := newGroup(t, 5, nil)
+	payload := []byte("anonymous-tx")
+	if err := h.members[2].Queue(payload); err != nil {
+		t.Fatal(err)
+	}
+	h.runRounds(3)
+
+	for i := 0; i < 5; i++ {
+		want := 1
+		if i == 2 {
+			want = 0 // the sender recovers 0, not its own message
+		}
+		if got := h.received[i][string(payload)]; got != want {
+			t.Errorf("member %d delivered %d copies, want %d", i, got, want)
+		}
+	}
+	if h.sendOK[2] != 1 {
+		t.Errorf("sender success count = %d, want 1", h.sendOK[2])
+	}
+	if h.members[2].Pending() != 0 {
+		t.Errorf("queue not drained: %d", h.members[2].Pending())
+	}
+}
+
+func TestMessageComplexityPerRound(t *testing.T) {
+	// §V-A: Phase 1 incurs O(k²) messages — exactly 3·g·(g−1) per round
+	// without the blame extension (experiment E2's formula).
+	for _, n := range []int{4, 7, 10} {
+		h := newGroup(t, n, nil)
+		h.runRounds(1)
+		completed := h.members[0].RoundsCompleted
+		if completed == 0 {
+			t.Fatalf("n=%d: no round completed", n)
+		}
+		want := int64(3 * n * (n - 1) * completed)
+		if got := h.net.TotalMessages(); got != want {
+			t.Errorf("n=%d: %d messages for %d rounds, want %d", n, got, completed, want)
+		}
+	}
+}
+
+func TestTwoSenderCollisionAndRecovery(t *testing.T) {
+	// Two members transmit in the same round: each recovers the other's
+	// message (M ⊕ m_j), non-senders see garbage, and backoff separates
+	// the retries until both succeed.
+	h := newGroup(t, 5, nil)
+	pa, pb := []byte("payload-from-a"), []byte("payload-from-b")
+	if err := h.members[0].Queue(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.members[1].Queue(pb); err != nil {
+		t.Fatal(err)
+	}
+	h.runRounds(1)
+
+	// After the colliding round: sender 0 saw b's message, sender 1 saw
+	// a's, non-senders saw nothing valid.
+	if h.received[0][string(pb)] != 1 {
+		t.Errorf("sender 0 did not recover the colliding message")
+	}
+	if h.received[1][string(pa)] != 1 {
+		t.Errorf("sender 1 did not recover the colliding message")
+	}
+	for i := 2; i < 5; i++ {
+		if len(h.received[i]) != 0 {
+			t.Errorf("non-sender %d delivered %v during collision", i, h.received[i])
+		}
+	}
+	if h.members[0].Collisions == 0 || h.members[1].Collisions == 0 {
+		t.Error("collision not counted by senders")
+	}
+
+	// Let backoff resolve: eventually everyone has both payloads.
+	h.runRounds(80)
+	for i := 0; i < 5; i++ {
+		for _, p := range [][]byte{pa, pb} {
+			if (i == 0 && bytes.Equal(p, pa)) || (i == 1 && bytes.Equal(p, pb)) {
+				continue // own message never self-delivered
+			}
+			if h.received[i][string(p)] == 0 {
+				t.Errorf("member %d never received %q after retries", i, p)
+			}
+		}
+	}
+	if h.sendOK[0] != 1 || h.sendOK[1] != 1 {
+		t.Errorf("send successes = %d,%d, want 1,1", h.sendOK[0], h.sendOK[1])
+	}
+}
+
+func TestAnnounceModeDelivery(t *testing.T) {
+	h := newGroup(t, 5, func(i int, cfg *Config) {
+		cfg.Mode = ModeAnnounce
+	})
+	payload := []byte("a somewhat longer anonymous transaction payload")
+	if err := h.members[3].Queue(payload); err != nil {
+		t.Fatal(err)
+	}
+	h.runRounds(4) // announce + data + slack
+
+	for i := 0; i < 5; i++ {
+		want := 1
+		if i == 3 {
+			want = 0
+		}
+		if got := h.received[i][string(payload)]; got != want {
+			t.Errorf("member %d delivered %d copies, want %d", i, got, want)
+		}
+	}
+	if h.sendOK[3] != 1 {
+		t.Errorf("sender success = %d, want 1", h.sendOK[3])
+	}
+}
+
+func TestAnnounceModeIdleBytesSmall(t *testing.T) {
+	// §V-A: idle announce rounds move 8-byte slots instead of full-size
+	// ones. Compare ShareMsg payload sizes: announce slots are 8 bytes.
+	h := newGroup(t, 4, func(i int, cfg *Config) {
+		cfg.Mode = ModeAnnounce
+	})
+	h.runRounds(3)
+	if h.members[0].RoundsCompleted == 0 {
+		t.Fatal("no rounds completed")
+	}
+	// All rounds idle: every exchanged buffer is the 8-byte announce slot.
+	for n, rs := range h.members[0].rounds {
+		if rs.complete && rs.slot != AnnounceSlotSize {
+			t.Errorf("idle round %d used slot %d, want %d", n, rs.slot, AnnounceSlotSize)
+		}
+	}
+}
+
+func TestTimeoutDissolvesOnCrash(t *testing.T) {
+	h := newGroup(t, 4, func(i int, cfg *Config) {
+		cfg.Timeout = 300 * time.Millisecond
+	})
+	h.net.Crash(1)
+	h.runRounds(8)
+	for i := 0; i < 4; i++ {
+		if i == 1 {
+			continue
+		}
+		if h.dissolved[i] == "" {
+			t.Errorf("member %d did not dissolve after peer crash", i)
+		}
+		if !h.members[i].Stopped() {
+			t.Errorf("member %d still running", i)
+		}
+	}
+}
+
+func TestDissolvePolicyOnDisruptor(t *testing.T) {
+	h := newGroup(t, 5, func(i int, cfg *Config) {
+		cfg.Policy = PolicyDissolve
+		cfg.FailureThreshold = 3
+		if i == 4 {
+			cfg.Disrupt = true
+		}
+	})
+	h.runRounds(10)
+	for i := 0; i < 4; i++ {
+		if h.dissolved[i] == "" {
+			t.Errorf("member %d did not dissolve under constant disruption", i)
+		}
+	}
+}
+
+func TestBlameIdentifiesDisruptor(t *testing.T) {
+	const disruptor = 2
+	h := newGroup(t, 6, func(i int, cfg *Config) {
+		cfg.Policy = PolicyBlame
+		cfg.FailureThreshold = 3
+		if i == disruptor {
+			cfg.Disrupt = true
+		}
+	})
+	h.runRounds(12)
+	for i := 0; i < 6; i++ {
+		if i == disruptor {
+			continue
+		}
+		if h.blames[i][proto.NodeID(disruptor)] == 0 {
+			t.Errorf("member %d did not blame the disruptor", i)
+		}
+		for culprit := range h.blames[i] {
+			if culprit != proto.NodeID(disruptor) {
+				t.Errorf("member %d wrongly blamed honest member %d", i, culprit)
+			}
+		}
+		if h.members[i].BlamePhases == 0 {
+			t.Errorf("member %d never entered a blame phase", i)
+		}
+	}
+}
+
+func TestBlameSparesHonestColliders(t *testing.T) {
+	// Honest members that repeatedly collide must not be blamed: their
+	// openings are CRC-valid. Force repeated collisions by disabling
+	// backoff randomness via tiny threshold and two eager senders.
+	h := newGroup(t, 5, func(i int, cfg *Config) {
+		cfg.Policy = PolicyBlame
+		cfg.FailureThreshold = 2
+		cfg.MaxBackoffExp = 1 // backoff ∈ {0,1}: collisions stay frequent
+	})
+	if err := h.members[0].Queue([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.members[1].Queue([]byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	h.runRounds(40)
+	for i := 0; i < 5; i++ {
+		for culprit, cnt := range h.blames[i] {
+			if cnt > 0 {
+				t.Errorf("member %d blamed honest member %d", i, culprit)
+			}
+		}
+	}
+}
+
+func TestEncryptedChannels(t *testing.T) {
+	const n = 4
+	// Build pairwise channels; initiator is the smaller ID.
+	kx := make([]*crypto.KeyExchange, n)
+	for i := range kx {
+		var err error
+		kx[i], err = crypto.NewKeyExchange(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	channels := make([]map[proto.NodeID]*crypto.SecureChannel, n)
+	for i := 0; i < n; i++ {
+		channels[i] = make(map[proto.NodeID]*crypto.SecureChannel)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ch, err := kx[i].Channel(kx[j].PublicBytes(), i < j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			channels[i][proto.NodeID(j)] = ch
+		}
+	}
+	h := newGroup(t, n, func(i int, cfg *Config) {
+		cfg.Channels = channels[i]
+	})
+	payload := []byte("sealed-tx")
+	if err := h.members[1].Queue(payload); err != nil {
+		t.Fatal(err)
+	}
+	h.runRounds(3)
+	for i := 0; i < n; i++ {
+		want := 1
+		if i == 1 {
+			want = 0
+		}
+		if got := h.received[i][string(payload)]; got != want {
+			t.Errorf("member %d delivered %d copies, want %d", i, got, want)
+		}
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	all := []proto.NodeID{0, 1, 2}
+	m, err := NewMember(Config{Self: 0, Members: all, Mode: ModeFixed, SlotSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Queue(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := m.Queue(make([]byte, 1000)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("oversized payload: %v", err)
+	}
+	m.Stop()
+	if err := m.Queue([]byte("x")); !errors.Is(err, ErrStopped) {
+		t.Errorf("stopped member accepted payload: %v", err)
+	}
+}
+
+func TestNewMemberValidation(t *testing.T) {
+	if _, err := NewMember(Config{Self: 0, Members: []proto.NodeID{0}}); !errors.Is(err, ErrGroupTooSmall) {
+		t.Errorf("singleton group: %v", err)
+	}
+	if _, err := NewMember(Config{Self: 9, Members: []proto.NodeID{0, 1}}); !errors.Is(err, ErrNotMember) {
+		t.Errorf("non-member self: %v", err)
+	}
+	if _, err := NewMember(Config{Self: 0, Members: []proto.NodeID{0, 1}, SlotSize: 4}); err == nil {
+		t.Error("tiny slot accepted")
+	}
+}
+
+func TestManyGroupSizesDeliver(t *testing.T) {
+	// The paper's k ranges over "four and ten"; group sizes span
+	// [k, 2k−1]. Exercise the whole band.
+	for n := 2; n <= 12; n++ {
+		n := n
+		t.Run(fmt.Sprintf("g=%d", n), func(t *testing.T) {
+			h := newGroup(t, n, nil)
+			payload := []byte{byte(n), 0xee}
+			if err := h.members[n-1].Queue(payload); err != nil {
+				t.Fatal(err)
+			}
+			h.runRounds(3)
+			for i := 0; i < n-1; i++ {
+				if h.received[i][string(payload)] != 1 {
+					t.Errorf("member %d missed the payload", i)
+				}
+			}
+		})
+	}
+}
+
+func TestSlotPacking(t *testing.T) {
+	slot, err := packSlot([]byte("hello"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slot) != 32 {
+		t.Fatalf("slot length = %d", len(slot))
+	}
+	got, ok := unpackSlot(slot)
+	if !ok || string(got) != "hello" {
+		t.Errorf("unpack = %q, %v", got, ok)
+	}
+	slot[5] ^= 1
+	if _, ok := unpackSlot(slot); ok {
+		t.Error("corrupted slot accepted")
+	}
+	if _, err := packSlot(make([]byte, 30), 32); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("oversized pack: %v", err)
+	}
+	// XOR of two valid slots must fail validation (collision detection).
+	a, _ := packSlot([]byte("aaaa"), 32)
+	b, _ := packSlot([]byte("bbbbbb"), 32)
+	crypto.XORBytes(a, b)
+	if _, ok := unpackSlot(a); ok {
+		t.Error("collided slots accepted")
+	}
+}
+
+func TestAnnouncePacking(t *testing.T) {
+	slot := packAnnounce(1234)
+	l, ok := unpackAnnounce(slot)
+	if !ok || l != 1234 {
+		t.Errorf("unpackAnnounce = %d, %v", l, ok)
+	}
+	slot[1] ^= 0xff
+	if _, ok := unpackAnnounce(slot); ok {
+		t.Error("corrupted announce accepted")
+	}
+	if _, ok := unpackAnnounce([]byte{1, 2, 3}); ok {
+		t.Error("short announce accepted")
+	}
+}

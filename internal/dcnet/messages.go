@@ -1,0 +1,186 @@
+package dcnet
+
+import (
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Wire types of DC-net messages. One round of the Fig.-4 algorithm is
+// three pairwise exchanges (Share, SPartial, TPartial); Commit and Reveal
+// belong to the blame extension (§V-C).
+const (
+	// TypeShare is step 2: the random share rᵢ sent to each peer.
+	TypeShare = proto.RangeDCNet + 1
+	// TypeSPartial is step 5: S ⊕ sᵢ returned to each peer.
+	TypeSPartial = proto.RangeDCNet + 2
+	// TypeTPartial is step 8: T ⊕ tᵢ returned to each peer.
+	TypeTPartial = proto.RangeDCNet + 3
+	// TypeCommit carries per-share commitments (blame mode).
+	TypeCommit = proto.RangeDCNet + 4
+	// TypeReveal opens a round's shares during a blame phase.
+	TypeReveal = proto.RangeDCNet + 5
+)
+
+// ShareMsg is one member's share for one peer in one round. Data is the
+// raw share, or its AEAD sealing when pairwise channels are configured.
+type ShareMsg struct {
+	Round uint32
+	Data  []byte
+}
+
+// Type implements proto.Message.
+func (*ShareMsg) Type() proto.MsgType { return TypeShare }
+
+// EncodeTo implements wire.Encodable.
+func (m *ShareMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.ByteString(m.Data)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *ShareMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	m.Data = r.ByteString()
+	return r.Err()
+}
+
+// SPartialMsg is the first accumulation exchange.
+type SPartialMsg struct {
+	Round uint32
+	Data  []byte
+}
+
+// Type implements proto.Message.
+func (*SPartialMsg) Type() proto.MsgType { return TypeSPartial }
+
+// EncodeTo implements wire.Encodable.
+func (m *SPartialMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.ByteString(m.Data)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *SPartialMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	m.Data = r.ByteString()
+	return r.Err()
+}
+
+// TPartialMsg is the second accumulation exchange.
+type TPartialMsg struct {
+	Round uint32
+	Data  []byte
+}
+
+// Type implements proto.Message.
+func (*TPartialMsg) Type() proto.MsgType { return TypeTPartial }
+
+// EncodeTo implements wire.Encodable.
+func (m *TPartialMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.ByteString(m.Data)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *TPartialMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	m.Data = r.ByteString()
+	return r.Err()
+}
+
+// CommitMsg carries a member's commitments to all its shares of a round,
+// ordered by the member-index of the receiving peer (self skipped).
+type CommitMsg struct {
+	Round   uint32
+	Digests [][32]byte
+}
+
+// Type implements proto.Message.
+func (*CommitMsg) Type() proto.MsgType { return TypeCommit }
+
+// EncodeTo implements wire.Encodable.
+func (m *CommitMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.Uvarint(uint64(len(m.Digests)))
+	for _, d := range m.Digests {
+		w.Bytes32(d)
+	}
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *CommitMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	n := r.Uvarint()
+	if n > 1024 {
+		return wire.ErrOverflow
+	}
+	m.Digests = make([][32]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Digests = append(m.Digests, r.Bytes32())
+	}
+	return r.Err()
+}
+
+// RevealMsg opens a member's shares and salts for a blamed round, ordered
+// like CommitMsg.Digests.
+type RevealMsg struct {
+	Round  uint32
+	Shares [][]byte
+	Salts  [][]byte
+}
+
+// Type implements proto.Message.
+func (*RevealMsg) Type() proto.MsgType { return TypeReveal }
+
+// EncodeTo implements wire.Encodable.
+func (m *RevealMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.Uvarint(uint64(len(m.Shares)))
+	for _, s := range m.Shares {
+		w.ByteString(s)
+	}
+	w.Uvarint(uint64(len(m.Salts)))
+	for _, s := range m.Salts {
+		w.ByteString(s)
+	}
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *RevealMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	n := r.Uvarint()
+	if n > 1024 {
+		return wire.ErrOverflow
+	}
+	m.Shares = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Shares = append(m.Shares, r.ByteString())
+	}
+	n = r.Uvarint()
+	if n > 1024 {
+		return wire.ErrOverflow
+	}
+	m.Salts = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Salts = append(m.Salts, r.ByteString())
+	}
+	return r.Err()
+}
+
+// RegisterMessages adds this package's messages to a codec.
+func RegisterMessages(c *wire.Codec) {
+	c.Register(TypeShare, func() wire.Encodable { return new(ShareMsg) })
+	c.Register(TypeSPartial, func() wire.Encodable { return new(SPartialMsg) })
+	c.Register(TypeTPartial, func() wire.Encodable { return new(TPartialMsg) })
+	c.Register(TypeCommit, func() wire.Encodable { return new(CommitMsg) })
+	c.Register(TypeReveal, func() wire.Encodable { return new(RevealMsg) })
+}
+
+// Compile-time interface checks.
+var (
+	_ wire.Encodable = (*ShareMsg)(nil)
+	_ wire.Encodable = (*SPartialMsg)(nil)
+	_ wire.Encodable = (*TPartialMsg)(nil)
+	_ wire.Encodable = (*CommitMsg)(nil)
+	_ wire.Encodable = (*RevealMsg)(nil)
+)

@@ -1,0 +1,84 @@
+package dcnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/crypto"
+)
+
+// Slot layout constants.
+const (
+	// slotHeaderSize is the length-prefix inside a fixed-size slot.
+	slotHeaderSize = 4
+	// slotTrailerSize is the CRC32-C trailer (§III-B's "CRC bits").
+	slotTrailerSize = 4
+	// SlotOverhead is the per-slot framing cost in fixed mode.
+	SlotOverhead = slotHeaderSize + slotTrailerSize
+	// AnnounceSlotSize is the §V-A optimization's announcement slot: a
+	// 32-bit length "protected by CRC bits" — 8 bytes total.
+	AnnounceSlotSize = 8
+)
+
+// ErrPayloadTooLarge reports a payload that does not fit the slot.
+var ErrPayloadTooLarge = errors.New("dcnet: payload exceeds slot capacity")
+
+var slotTable = crc32.MakeTable(crc32.Castagnoli)
+
+// packSlot frames payload into a fixed slot:
+// [u32 length][payload][zero pad][u32 CRC over everything before it].
+func packSlot(payload []byte, slotSize int) ([]byte, error) {
+	if len(payload) > slotSize-SlotOverhead {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), slotSize-SlotOverhead)
+	}
+	buf := make([]byte, slotSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[slotHeaderSize:], payload)
+	crc := crc32.Checksum(buf[:slotSize-slotTrailerSize], slotTable)
+	binary.LittleEndian.PutUint32(buf[slotSize-slotTrailerSize:], crc)
+	return buf, nil
+}
+
+// unpackSlot validates and extracts a payload from a fixed slot. ok is
+// false for collisions/garbage (CRC or bounds failure).
+func unpackSlot(slot []byte) (payload []byte, ok bool) {
+	if len(slot) < SlotOverhead {
+		return nil, false
+	}
+	body := slot[:len(slot)-slotTrailerSize]
+	crc := binary.LittleEndian.Uint32(slot[len(slot)-slotTrailerSize:])
+	if crc32.Checksum(body, slotTable) != crc {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(body)
+	if int(n) > len(body)-slotHeaderSize {
+		return nil, false
+	}
+	return body[slotHeaderSize : slotHeaderSize+int(n)], true
+}
+
+// packAnnounce frames a data-slot length announcement: [u32 L][u32 CRC].
+func packAnnounce(length uint32) []byte {
+	buf := make([]byte, AnnounceSlotSize)
+	binary.LittleEndian.PutUint32(buf, length)
+	crc := crc32.Checksum(buf[:4], slotTable)
+	binary.LittleEndian.PutUint32(buf[4:], crc)
+	return buf
+}
+
+// unpackAnnounce validates an announcement slot and returns the announced
+// data-slot length.
+func unpackAnnounce(slot []byte) (length uint32, ok bool) {
+	if len(slot) != AnnounceSlotSize {
+		return 0, false
+	}
+	if crc32.Checksum(slot[:4], slotTable) != binary.LittleEndian.Uint32(slot[4:]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(slot), true
+}
+
+// isZeroSlot reports an idle slot (nobody transmitted).
+func isZeroSlot(b []byte) bool { return crypto.IsZero(b) }

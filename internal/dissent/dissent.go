@@ -1,0 +1,430 @@
+// Package dissent implements the announcement phase of the Dissent-style
+// systems §III-B compares against (Corrigan-Gibbs & Ford, CCS 2010): every
+// member onion-encrypts its announcement (the length of the message it
+// wants to send) with one layer per member and submits it to the head of
+// a fixed permutation; the batch then travels serially through all
+// members, each removing its layer and shuffling, and the last member
+// publishes the plaintext announcement list. A DC-net data round sized by
+// the announcements then carries the payloads.
+//
+// The paper's point about this design is its startup cost: "The
+// announcement round causes a startup phase scaling linearly in the
+// number of group members and becoming noticeably slow, e.g., 30 seconds,
+// for group sizes of 8 to 12" — reproduced by experiment E13.
+//
+// The shuffle here is honest-but-curious grade: layers are real
+// (X25519-derived AES-GCM), the permutation is fixed (sorted member
+// order) and every member provably participates, but the zero-knowledge
+// correctness proofs of full Dissent are out of scope (recorded in
+// DESIGN.md).
+package dissent
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Wire types.
+const (
+	// TypeSubmit carries one member's onion to the permutation head.
+	TypeSubmit = proto.RangeCore + 0x40
+	// TypeShuffleBatch carries the batch to the next member.
+	TypeShuffleBatch = proto.RangeCore + 0x41
+	// TypeAnnouncePublish broadcasts the shuffled plaintext announcements.
+	TypeAnnouncePublish = proto.RangeCore + 0x42
+)
+
+// SubmitMsg is one onion-encrypted announcement headed for the pipeline.
+type SubmitMsg struct {
+	Round uint32
+	Onion []byte
+}
+
+// Type implements proto.Message.
+func (*SubmitMsg) Type() proto.MsgType { return TypeSubmit }
+
+// EncodeTo implements wire.Encodable.
+func (m *SubmitMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.ByteString(m.Onion)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *SubmitMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	m.Onion = r.ByteString()
+	return r.Err()
+}
+
+// ShuffleBatch is the in-flight batch at permutation position Hop.
+type ShuffleBatch struct {
+	Round uint32
+	Hop   uint16 // number of members that have already peeled
+	Items [][]byte
+}
+
+// Type implements proto.Message.
+func (*ShuffleBatch) Type() proto.MsgType { return TypeShuffleBatch }
+
+// EncodeTo implements wire.Encodable.
+func (m *ShuffleBatch) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.U16(m.Hop)
+	w.Uvarint(uint64(len(m.Items)))
+	for _, it := range m.Items {
+		w.ByteString(it)
+	}
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *ShuffleBatch) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	m.Hop = r.U16()
+	n := r.Uvarint()
+	if n > 4096 {
+		return wire.ErrOverflow
+	}
+	m.Items = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Items = append(m.Items, r.ByteString())
+	}
+	return r.Err()
+}
+
+// AnnouncePublish is the final plaintext announcement list.
+type AnnouncePublish struct {
+	Round   uint32
+	Lengths []uint32
+}
+
+// Type implements proto.Message.
+func (*AnnouncePublish) Type() proto.MsgType { return TypeAnnouncePublish }
+
+// EncodeTo implements wire.Encodable.
+func (m *AnnouncePublish) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.Uvarint(uint64(len(m.Lengths)))
+	for _, l := range m.Lengths {
+		w.U32(l)
+	}
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *AnnouncePublish) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	n := r.Uvarint()
+	if n > 4096 {
+		return wire.ErrOverflow
+	}
+	m.Lengths = make([]uint32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Lengths = append(m.Lengths, r.U32())
+	}
+	return r.Err()
+}
+
+// RegisterMessages adds this package's messages to a codec.
+func RegisterMessages(c *wire.Codec) {
+	c.Register(TypeSubmit, func() wire.Encodable { return new(SubmitMsg) })
+	c.Register(TypeShuffleBatch, func() wire.Encodable { return new(ShuffleBatch) })
+	c.Register(TypeAnnouncePublish, func() wire.Encodable { return new(AnnouncePublish) })
+}
+
+// Compile-time interface checks.
+var (
+	_ wire.Encodable = (*SubmitMsg)(nil)
+	_ wire.Encodable = (*ShuffleBatch)(nil)
+	_ wire.Encodable = (*AnnouncePublish)(nil)
+)
+
+// LayerKeys holds one member's view of the group's layer keys: AEADs to
+// seal toward every member and the AEAD that opens its own layer.
+type LayerKeys struct {
+	seal map[proto.NodeID]cipher.AEAD
+	open cipher.AEAD
+}
+
+// Setup derives layer keys. All members must call it with consistent
+// inputs: the shared map of members' layer secrets is derived from each
+// member's published X25519 key via SharedLayerSecrets (deterministic
+// given the key set), so sealing toward m and m's own opening agree.
+func Setup(self proto.NodeID, secrets map[proto.NodeID][]byte) (*LayerKeys, error) {
+	lk := &LayerKeys{seal: make(map[proto.NodeID]cipher.AEAD, len(secrets))}
+	for m, secret := range secrets {
+		aead, err := newAEAD(secret)
+		if err != nil {
+			return nil, err
+		}
+		if m == self {
+			lk.open = aead
+		}
+		lk.seal[m] = aead
+	}
+	if lk.open == nil {
+		return nil, errors.New("dissent: self not in member set")
+	}
+	return lk, nil
+}
+
+// SharedLayerSecrets derives one 32-byte layer secret per member from
+// its identity hash. In a real deployment each member would publish an
+// ephemeral public key and prove knowledge of the layer key; for the
+// latency reproduction the layer secret only needs to be (a) per-member
+// and (b) consistently derivable by the whole group.
+func SharedLayerSecrets(hashes map[proto.NodeID][32]byte) map[proto.NodeID][]byte {
+	out := make(map[proto.NodeID][]byte, len(hashes))
+	for m, h := range hashes {
+		c := crypto.Commit(h[:], []byte("dissent-layer-key"))
+		out[m] = c[:]
+	}
+	return out
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	if len(key) < 32 {
+		return nil, errors.New("dissent: short layer key")
+	}
+	block, err := aes.NewCipher(key[:32])
+	if err != nil {
+		return nil, fmt.Errorf("dissent: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// nonceSize is the GCM nonce prepended to each onion layer.
+const nonceSize = 12
+
+// OnionSeal wraps value with one layer per member in order: order[0]'s
+// layer ends up outermost, so the members peel in permutation order.
+func OnionSeal(value []byte, order []proto.NodeID, keys *LayerKeys, nonceAt func() []byte) ([]byte, error) {
+	out := value
+	for i := len(order) - 1; i >= 0; i-- {
+		aead, ok := keys.seal[order[i]]
+		if !ok {
+			return nil, fmt.Errorf("dissent: no layer key for %d", order[i])
+		}
+		nonce := nonceAt()
+		if len(nonce) != nonceSize {
+			return nil, errors.New("dissent: bad nonce size")
+		}
+		ct := aead.Seal(nil, nonce, out, nil)
+		out = append(append(make([]byte, 0, nonceSize+len(ct)), nonce...), ct...)
+	}
+	return out, nil
+}
+
+// Peel removes this member's (outermost) layer.
+func (lk *LayerKeys) Peel(onion []byte) ([]byte, error) {
+	if len(onion) < nonceSize {
+		return nil, errors.New("dissent: onion too short")
+	}
+	pt, err := lk.open.Open(nil, onion[:nonceSize], onion[nonceSize:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("dissent: peeling layer: %w", err)
+	}
+	return pt, nil
+}
+
+// Config parametrizes one member of the announcement shuffle.
+type Config struct {
+	Self    proto.NodeID
+	Members []proto.NodeID // full group; sorted order is the permutation
+	Keys    *LayerKeys
+	// Interval spaces announcement rounds (default 5 s).
+	Interval time.Duration
+	// OnAnnouncements fires at every member when the shuffled plaintext
+	// list publishes.
+	OnAnnouncements func(ctx proto.Context, round uint32, lengths []uint32)
+}
+
+// Member runs the serial shuffle. Only the announcement phase is
+// implemented here — the subsequent data round is the ordinary DC-net of
+// internal/dcnet, which experiments compose separately.
+type Member struct {
+	cfg     Config
+	members []proto.NodeID
+	pending []uint32
+
+	collected map[uint32][][]byte // head only: onions per round
+
+	// RoundsCompleted counts published announcement lists seen.
+	RoundsCompleted int
+	// LastPublished is the most recent announcement list.
+	LastPublished []uint32
+}
+
+type roundTimer struct{ round uint32 }
+
+// NewMember validates the configuration.
+func NewMember(cfg Config) (*Member, error) {
+	if cfg.Keys == nil {
+		return nil, errors.New("dissent: missing layer keys")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	members := slices.Clone(cfg.Members)
+	slices.Sort(members)
+	members = slices.Compact(members)
+	if !slices.Contains(members, cfg.Self) {
+		return nil, errors.New("dissent: self not in members")
+	}
+	if len(members) < 2 {
+		return nil, errors.New("dissent: group too small")
+	}
+	return &Member{
+		cfg:       cfg,
+		members:   members,
+		collected: make(map[uint32][][]byte),
+	}, nil
+}
+
+// Announce queues a message length for the next announcement round.
+func (m *Member) Announce(length uint32) { m.pending = append(m.pending, length) }
+
+// Start schedules the per-round submission timers (all members).
+func (m *Member) Start(ctx proto.Context) {
+	ctx.SetTimer(m.cfg.Interval, roundTimer{round: 1})
+}
+
+// head returns the permutation head.
+func (m *Member) head() proto.NodeID { return m.members[0] }
+
+// indexOf returns the permutation index of a member.
+func (m *Member) indexOf(id proto.NodeID) int {
+	i, ok := slices.BinarySearch(m.members, id)
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// HandleTimer submits this member's onion for the round.
+func (m *Member) HandleTimer(ctx proto.Context, payload any) bool {
+	rt, ok := payload.(roundTimer)
+	if !ok {
+		return false
+	}
+	onion := m.sealedAnnouncement(ctx)
+	if m.cfg.Self == m.head() {
+		m.collect(ctx, rt.round, onion)
+	} else {
+		ctx.Send(m.head(), &SubmitMsg{Round: rt.round, Onion: onion})
+	}
+	ctx.SetTimer(m.cfg.Interval, roundTimer{round: rt.round + 1})
+	return true
+}
+
+// sealedAnnouncement onion-encrypts this member's announcement under all
+// members' layers in permutation order.
+func (m *Member) sealedAnnouncement(ctx proto.Context) []byte {
+	var length uint32
+	if len(m.pending) > 0 {
+		length = m.pending[0]
+		m.pending = m.pending[1:]
+	}
+	var value [4]byte
+	binary.LittleEndian.PutUint32(value[:], length)
+	rng := ctx.Rand()
+	onion, err := OnionSeal(value[:], m.members, m.cfg.Keys, func() []byte {
+		nonce := make([]byte, nonceSize)
+		for i := range nonce {
+			nonce[i] = byte(rng.Uint32())
+		}
+		return nonce
+	})
+	if err != nil {
+		panic(fmt.Sprintf("dissent: sealing announcement: %v", err))
+	}
+	return onion
+}
+
+// HandleMessage processes shuffle traffic; reports whether consumed.
+func (m *Member) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) bool {
+	switch mm := msg.(type) {
+	case *SubmitMsg:
+		if m.cfg.Self == m.head() {
+			m.collect(ctx, mm.Round, mm.Onion)
+		}
+	case *ShuffleBatch:
+		m.onBatch(ctx, mm)
+	case *AnnouncePublish:
+		m.publishLocal(ctx, mm.Round, mm.Lengths)
+	default:
+		return false
+	}
+	return true
+}
+
+// collect buffers onions at the head; once all members submitted, the
+// head peels its layer, shuffles, and starts the serial pipeline.
+func (m *Member) collect(ctx proto.Context, round uint32, onion []byte) {
+	m.collected[round] = append(m.collected[round], onion)
+	if len(m.collected[round]) < len(m.members) {
+		return
+	}
+	items := m.collected[round]
+	delete(m.collected, round)
+	m.peelShuffleForward(ctx, round, 0, items)
+}
+
+// onBatch handles the batch at this member's pipeline position.
+func (m *Member) onBatch(ctx proto.Context, batch *ShuffleBatch) {
+	idx := m.indexOf(m.cfg.Self)
+	if int(batch.Hop) != idx {
+		return // not our turn; drop (honest-but-curious)
+	}
+	m.peelShuffleForward(ctx, batch.Round, idx, batch.Items)
+}
+
+// peelShuffleForward removes our layer from every item, shuffles, and
+// forwards (or publishes, at the end of the permutation).
+func (m *Member) peelShuffleForward(ctx proto.Context, round uint32, idx int, items [][]byte) {
+	peeled := make([][]byte, 0, len(items))
+	for _, it := range items {
+		out, err := m.cfg.Keys.Peel(it)
+		if err != nil {
+			return // malformed item: drop the round (see package doc)
+		}
+		peeled = append(peeled, out)
+	}
+	rng := ctx.Rand()
+	rng.Shuffle(len(peeled), func(i, j int) { peeled[i], peeled[j] = peeled[j], peeled[i] })
+
+	if idx+1 < len(m.members) {
+		ctx.Send(m.members[idx+1], &ShuffleBatch{Round: round, Hop: uint16(idx + 1), Items: peeled})
+		return
+	}
+	// Last member: plaintext announcements; publish to the group.
+	lengths := make([]uint32, 0, len(peeled))
+	for _, it := range peeled {
+		if len(it) == 4 {
+			lengths = append(lengths, binary.LittleEndian.Uint32(it))
+		}
+	}
+	pub := &AnnouncePublish{Round: round, Lengths: lengths}
+	for _, member := range m.members {
+		if member == m.cfg.Self {
+			m.publishLocal(ctx, round, lengths)
+			continue
+		}
+		ctx.Send(member, pub)
+	}
+}
+
+func (m *Member) publishLocal(ctx proto.Context, round uint32, lengths []uint32) {
+	m.RoundsCompleted++
+	m.LastPublished = slices.Clone(lengths)
+	if m.cfg.OnAnnouncements != nil {
+		m.cfg.OnAnnouncements(ctx, round, lengths)
+	}
+}

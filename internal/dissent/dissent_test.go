@@ -1,0 +1,233 @@
+package dissent
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// handler adapts a Member to proto.Handler.
+type handler struct{ m *Member }
+
+func (h *handler) Init(ctx proto.Context) { h.m.Start(ctx) }
+func (h *handler) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	h.m.HandleMessage(ctx, from, msg)
+}
+func (h *handler) HandleTimer(ctx proto.Context, payload any) { h.m.HandleTimer(ctx, payload) }
+
+// shuffleWorld wires a clique of dissent members.
+type shuffleWorld struct {
+	net       *sim.Network
+	members   []*Member
+	published [][]uint32 // per member, last announcement list
+}
+
+func newShuffleWorld(t *testing.T, n int, seed uint64) *shuffleWorld {
+	t.Helper()
+	g, err := topology.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secrets := SharedLayerSecrets(core.SimHashes(n))
+	w := &shuffleWorld{
+		net:       sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(50 * time.Millisecond)}),
+		members:   make([]*Member, n),
+		published: make([][]uint32, n),
+	}
+	all := make([]proto.NodeID, n)
+	for i := range all {
+		all[i] = proto.NodeID(i)
+	}
+	w.net.SetHandlers(func(id proto.NodeID) proto.Handler {
+		keys, err := Setup(id, secrets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := int(id)
+		m, err := NewMember(Config{
+			Self: id, Members: all, Keys: keys,
+			Interval: time.Second,
+			OnAnnouncements: func(_ proto.Context, _ uint32, lengths []uint32) {
+				w.published[i] = slices.Clone(lengths)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.members[id] = m
+		return &handler{m}
+	})
+	w.net.Start()
+	return w
+}
+
+func TestOnionSealPeelChain(t *testing.T) {
+	secrets := SharedLayerSecrets(core.SimHashes(3))
+	order := []proto.NodeID{0, 1, 2}
+	keys := make([]*LayerKeys, 3)
+	for i := range keys {
+		var err error
+		keys[i], err = Setup(proto.NodeID(i), secrets)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	counter := byte(0)
+	nonceAt := func() []byte {
+		counter++
+		n := make([]byte, nonceSize)
+		n[0] = counter
+		return n
+	}
+	onion, err := OnionSeal([]byte{0xde, 0xad, 0xbe, 0xef}, order, keys[0], nonceAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peel in permutation order 0,1,2.
+	for i := 0; i < 3; i++ {
+		onion, err = keys[i].Peel(onion)
+		if err != nil {
+			t.Fatalf("peel %d: %v", i, err)
+		}
+	}
+	if string(onion) != string([]byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Errorf("recovered %x", onion)
+	}
+	// Peeling out of order must fail.
+	onion2, _ := OnionSeal([]byte{1, 2, 3, 4}, order, keys[0], nonceAt)
+	if _, err := keys[2].Peel(onion2); err == nil {
+		t.Error("out-of-order peel succeeded")
+	}
+}
+
+func TestAnnouncementShuffleDeliversLengths(t *testing.T) {
+	w := newShuffleWorld(t, 5, 3)
+	w.members[2].Announce(512)
+	w.members[4].Announce(128)
+	// Round 1 fires at 1 s and the pipeline takes ~0.35 s; stop before
+	// the idle round 2 overwrites the published list.
+	w.net.RunUntil(1600 * time.Millisecond)
+
+	for i, lengths := range w.published {
+		if lengths == nil {
+			t.Fatalf("member %d never saw a published round", i)
+		}
+		// The two announcements (plus zeros) must be present.
+		got := slices.Clone(lengths)
+		slices.Sort(got)
+		nonzero := got[len(got)-2:]
+		if nonzero[0] != 128 || nonzero[1] != 512 {
+			t.Errorf("member %d published lengths %v", i, lengths)
+		}
+		if len(lengths) != 5 {
+			t.Errorf("member %d got %d slots, want 5", i, len(lengths))
+		}
+	}
+}
+
+func TestShuffleHidesSubmissionOrder(t *testing.T) {
+	// Over many rounds, the announced value's position in the published
+	// list should be near-uniform — the whole point of the shuffle.
+	w := newShuffleWorld(t, 4, 9)
+	positions := make([]int, 4)
+	rounds := 200
+	for r := 0; r < rounds; r++ {
+		w.members[1].Announce(999)
+		w.net.RunUntil(w.net.Now() + time.Second)
+		lengths := w.published[0]
+		for pos, l := range lengths {
+			if l == 999 {
+				positions[pos]++
+			}
+		}
+	}
+	total := 0
+	for _, c := range positions {
+		total += c
+	}
+	if total < rounds/2 {
+		t.Fatalf("announcement rarely published: %d/%d", total, rounds)
+	}
+	for pos, c := range positions {
+		frac := float64(c) / float64(total)
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("position %d got fraction %v; shuffle looks biased (%v)", pos, frac, positions)
+		}
+	}
+}
+
+func TestStartupLatencyScalesLinearly(t *testing.T) {
+	// The §III-B complaint: the serial pipeline makes the announcement
+	// phase linear in group size. Measure the virtual time of the first
+	// published list (rounds start at 1 s; per-hop latency 50 ms).
+	latency := func(n int) time.Duration {
+		g, err := topology.Complete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secrets := SharedLayerSecrets(core.SimHashes(n))
+		net := sim.NewNetwork(g, sim.Options{Seed: uint64(n), Latency: sim.ConstLatency(50 * time.Millisecond)})
+		var publishedAt time.Duration
+		all := make([]proto.NodeID, n)
+		for i := range all {
+			all[i] = proto.NodeID(i)
+		}
+		net.SetHandlers(func(id proto.NodeID) proto.Handler {
+			keys, err := Setup(id, secrets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMember(Config{
+				Self: id, Members: all, Keys: keys, Interval: time.Second,
+				OnAnnouncements: func(ctx proto.Context, round uint32, _ []uint32) {
+					if round == 1 && publishedAt == 0 {
+						publishedAt = ctx.Now()
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &handler{m}
+		})
+		net.Start()
+		net.RunUntil(30 * time.Second)
+		if publishedAt == 0 {
+			t.Fatalf("n=%d: round 1 never published", n)
+		}
+		return publishedAt - time.Second // subtract the round-start offset
+	}
+	l4, l12 := latency(4), latency(12)
+	if l12 <= l4 {
+		t.Errorf("latency(12)=%v not above latency(4)=%v", l12, l4)
+	}
+	// Serial pipeline: expect ≈ (n+1)·50ms; 12 members ≈ 650ms, 4 ≈ 250ms.
+	if got, want := l12-l4, 8*50*time.Millisecond; got < want/2 || got > want*2 {
+		t.Errorf("latency growth %v far from linear expectation %v", got, want)
+	}
+}
+
+func TestNewMemberValidation(t *testing.T) {
+	secrets := SharedLayerSecrets(core.SimHashes(3))
+	keys, err := Setup(0, secrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMember(Config{Self: 0, Members: []proto.NodeID{0}, Keys: keys}); err == nil {
+		t.Error("singleton accepted")
+	}
+	if _, err := NewMember(Config{Self: 9, Members: []proto.NodeID{0, 1}, Keys: keys}); err == nil {
+		t.Error("non-member accepted")
+	}
+	if _, err := NewMember(Config{Self: 0, Members: []proto.NodeID{0, 1}}); err == nil {
+		t.Error("missing keys accepted")
+	}
+	if _, err := Setup(99, secrets); err == nil {
+		t.Error("Setup with absent self accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dcnet"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// E11Blame evaluates the §V-C stronger-attacker extension: a disruptor
+// creating collisions "through sending random messages". Under
+// PolicyBlame the von-Ahn-style commitment/reveal protocol identifies
+// the culprit; under PolicyDissolve the group burns and re-forms without
+// identification. The table reports rounds until the policy resolves the
+// attack, message overhead of commitments, and misidentification counts.
+func E11Blame(quick bool) *metrics.Table {
+	nTrials := trials(quick, 3, 15)
+	t := metrics.NewTable(
+		"E11 — reacting to a DC-net disruptor (g=8, threshold=3)",
+		"policy", "trials", "mean rounds to resolution", "disruptor identified", "honest blamed", "msgs/round overhead",
+	)
+	const g = 8
+	const disruptor = proto.NodeID(5)
+
+	type outcome struct {
+		rounds      int
+		identified  bool
+		honestBlame int
+		msgs        int64
+		roundsDone  int
+	}
+	run := func(policy dcnet.Policy, seed uint64) outcome {
+		topo, err := topology.Complete(g)
+		if err != nil {
+			panic(err)
+		}
+		codec := wire.NewCodec()
+		dcnet.RegisterMessages(codec)
+		net := sim.NewNetwork(topo, sim.Options{Seed: seed, Latency: sim.ConstLatency(5 * time.Millisecond), Codec: codec})
+		all := make([]proto.NodeID, g)
+		for i := range all {
+			all[i] = proto.NodeID(i)
+		}
+		members := make([]*dcnet.Member, g)
+		var out outcome
+		blamedAt := make(map[proto.NodeID]int)
+		net.SetHandlers(func(id proto.NodeID) proto.Handler {
+			cfg := dcnet.Config{
+				Self:             id,
+				Members:          all,
+				Mode:             dcnet.ModeFixed,
+				SlotSize:         128,
+				Interval:         100 * time.Millisecond,
+				Policy:           policy,
+				FailureThreshold: 3,
+				Disrupt:          id == disruptor,
+				OnBlame: func(_ proto.Context, culprit proto.NodeID) {
+					if culprit == disruptor {
+						out.identified = true
+						if blamedAt[id] == 0 {
+							blamedAt[id] = members[id].RoundsCompleted
+						}
+					} else {
+						out.honestBlame++
+					}
+				},
+				OnDissolve: func(proto.Context, string) {
+					if out.rounds == 0 {
+						out.rounds = members[id].RoundsCompleted
+					}
+				},
+			}
+			m, err := dcnet.NewMember(cfg)
+			if err != nil {
+				panic(err)
+			}
+			members[id] = m
+			return &memberHandler{m}
+		})
+		net.Start()
+		net.RunUntil(3 * time.Second)
+		out.msgs = net.TotalMessages()
+		out.roundsDone = members[0].RoundsCompleted
+		if out.roundsDone == 0 {
+			out.roundsDone = 1
+		}
+		if policy == dcnet.PolicyBlame {
+			for _, at := range blamedAt {
+				if at > out.rounds {
+					out.rounds = at
+				}
+			}
+		}
+		return out
+	}
+
+	for _, policy := range []dcnet.Policy{dcnet.PolicyBlame, dcnet.PolicyDissolve} {
+		rounds := metrics.NewSummary()
+		identified := 0
+		honestBlamed := 0
+		overhead := metrics.NewSummary()
+		for trial := 0; trial < nTrials; trial++ {
+			o := run(policy, uint64(trial+1))
+			rounds.Add(float64(o.rounds))
+			if o.identified {
+				identified++
+			}
+			honestBlamed += o.honestBlame
+			overhead.Add(float64(o.msgs) / float64(o.roundsDone) / float64(3*g*(g-1)))
+		}
+		name := "blame"
+		if policy == dcnet.PolicyDissolve {
+			name = "dissolve"
+		}
+		t.AddRow(name, nTrials, rounds.Mean(),
+			fmt.Sprintf("%d/%d", identified, nTrials), honestBlamed, overhead.Mean())
+	}
+	t.AddNote("overhead is msgs/round relative to the 3·g·(g−1) baseline; commitments add 1/3, reveals are one-off")
+	t.AddNote("dissolve resolves without identification — the paper's cheaper honest-but-curious alternative")
+	return t
+}

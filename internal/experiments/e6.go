@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// tokenTracker records the last virtual-source token holder.
+type tokenTracker struct{ last proto.NodeID }
+
+func (t *tokenTracker) OnSend(_ time.Duration, _, to proto.NodeID, msg proto.Message) {
+	if _, ok := msg.(*adaptive.TokenMsg); ok {
+		t.last = to
+	}
+}
+func (*tokenTracker) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+
+// E6Obfuscation reproduces the perfect-obfuscation claim the paper
+// inherits from adaptive diffusion (§V-B, [17]): "the probability to
+// detect the true origin is close to the goal of perfect obfuscation,
+// i.e., 1/n".
+//
+// The adversary observes the final infected ball (equivalently its
+// centre c) and plays the MAP estimator. By branch symmetry the only
+// informative statistic is the source's distance h from the centre:
+// the posterior over a node at distance h is P(h)/n_h, so the MAP
+// success probability is max_h P(h)/n_h. Perfect obfuscation means
+// P(h) = n_h/N(D), collapsing every level to 1/N(D). We estimate P(h)
+// empirically on a line and a 3-regular tree and report the MAP success
+// next to the 1/n ideal.
+func E6Obfuscation(quick bool) *metrics.Table {
+	nTrials := trials(quick, 300, 2500)
+	t := metrics.NewTable(
+		"E6 — adaptive diffusion source obfuscation (paper target: P(detect) ≈ 1/n)",
+		"graph", "D", "ball size n", "ideal 1/n", "MAP P(detect)", "P(center=src)",
+	)
+
+	runs := []struct {
+		name  string
+		build func() *topology.Graph
+		src   proto.NodeID
+		d     int
+		deg   int
+	}{
+		{"line(201)", func() *topology.Graph {
+			g, err := topology.Line(201)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}, 100, 6, 2},
+		{"3-regular tree(depth 10)", func() *topology.Graph {
+			g, err := topology.RegularTree(3, 10)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}, 0, 4, 3},
+	}
+	for _, r := range runs {
+		g := r.build()
+		ballSize := adaptive.BallSize(r.deg, r.d)
+		distCounts := make([]int, r.d+2)
+		centerHits := 0
+		for trial := 0; trial < nTrials; trial++ {
+			tracker := &tokenTracker{last: proto.NoNode}
+			net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(time.Millisecond)})
+			net.AddTap(tracker)
+			net.SetHandlers(func(proto.NodeID) proto.Handler {
+				return adaptive.New(adaptive.Config{D: r.d, RoundInterval: 100 * time.Millisecond, TreeDegree: r.deg})
+			})
+			net.Start()
+			if _, err := net.Originate(r.src, []byte{byte(trial), byte(trial >> 8)}); err != nil {
+				panic(err)
+			}
+			net.RunUntil(time.Minute)
+			h := g.BFS(tracker.last)[r.src]
+			if h == 0 {
+				centerHits++
+			}
+			if h >= 0 && h < len(distCounts) {
+				distCounts[h]++
+			}
+		}
+		// n_h on the infinite d-regular tree.
+		nh := func(h int) float64 {
+			if h == 0 {
+				return 1
+			}
+			v := float64(r.deg)
+			for j := 1; j < h; j++ {
+				v *= float64(r.deg - 1)
+			}
+			return v
+		}
+		mapDetect := 0.0
+		for h := 1; h < len(distCounts); h++ {
+			p := float64(distCounts[h]) / float64(nTrials)
+			if s := p / nh(h); s > mapDetect {
+				mapDetect = s
+			}
+		}
+		t.AddRow(r.name, r.d, ballSize, 1/float64(ballSize), mapDetect,
+			float64(centerHits)/float64(nTrials))
+	}
+	t.AddNote("MAP P(detect) = max_h P̂(h)/n_h; perfect obfuscation collapses all levels to 1/n")
+	t.AddNote("P(center=src) must be 0: the forced first pass moves the token off the source")
+	return t
+}

@@ -1,0 +1,91 @@
+// Package experiments regenerates every quantitative and qualitative
+// result of the paper's evaluation (see DESIGN.md §3 for the experiment
+// index E1–E12 and EXPERIMENTS.md for measured-vs-paper numbers). Each
+// experiment returns a metrics.Table so that cmd/flexsim, the benchmarks
+// in bench_test.go, and EXPERIMENTS.md all print identical rows.
+//
+// The quick flag trades trial counts for runtime (used by `go test
+// -bench` and CI); published numbers come from quick=false.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/topology"
+)
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(quick bool) *metrics.Table
+}
+
+// All returns the experiments in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"e1", "§V-A message counts: adaptive diffusion vs flood-and-prune (N=1000)", E1Messages},
+		{"e2", "§V-A Phase-1 message complexity O(k²)", E2DCNetComplexity},
+		{"e3", "Fig. 1 privacy–performance landscape", E3Landscape},
+		{"e4", "Fig. 2 / [12]: deanonymizing plain flooding", E4FloodDeanonymization},
+		{"e5", "§III-B: Dandelion decay vs flexnet k-anonymity floor", E5DandelionVsFlexnet},
+		{"e6", "§V-B [17]: adaptive diffusion perfect obfuscation", E6Obfuscation},
+		{"e7", "§V-A: announcement-round optimization", E7AnnounceOptimization},
+		{"e8", "§IV-C: overlapping groups and origin probabilities", E8OverlapGroups},
+		{"e9", "§III-A: delivery guarantees", E9Delivery},
+		{"e10", "§II: broadcast latency and miner fairness", E10MinerFairness},
+		{"e11", "§V-C: blame protocol vs dissolve policy", E11Blame},
+		{"e12", "Fig. 5: three-phase trace", E12PhaseTrace},
+		{"e13", "§III-B: Dissent announcement startup scaling", E13DissentStartup},
+		{"a1", "ablation: derived α(ρ,h) vs naive pass probabilities", A1AlphaAblation},
+		{"a2", "parameter advisor: (k,d) for a target privacy/latency budget", A2ParameterAdvisor},
+	}
+}
+
+// Find returns the experiment with the given ID, or nil.
+func Find(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+// regular builds the paper's random d-regular overlay.
+func regular(n, d int, seed uint64) *topology.Graph {
+	rng := rand.New(rand.NewPCG(seed, seed^0x5bd1e995))
+	g, err := topology.RandomRegular(n, d, rng)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building %d-regular graph: %v", d, err))
+	}
+	return g
+}
+
+// trials picks trial counts by mode.
+func trials(quick bool, quickN, fullN int) int {
+	if quick {
+		return quickN
+	}
+	return fullN
+}
+
+// pickHonestSource draws a node outside the corrupted set.
+func pickHonestSource(n int, corrupted func(proto.NodeID) bool, rng *rand.Rand) proto.NodeID {
+	for {
+		v := proto.NodeID(rng.IntN(n))
+		if corrupted == nil || !corrupted(v) {
+			return v
+		}
+	}
+}
+
+// fmtDuration renders virtual times compactly.
+func fmtDuration(d time.Duration) string {
+	return d.Round(10 * time.Millisecond).String()
+}

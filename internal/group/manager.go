@@ -1,0 +1,315 @@
+package group
+
+import (
+	"slices"
+
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Wire types of the membership protocol.
+const (
+	// TypeJoinReq asks the manager for group placement.
+	TypeJoinReq = proto.RangeGroup + 1
+	// TypeLeaveReq announces departure.
+	TypeLeaveReq = proto.RangeGroup + 2
+	// TypeViewUpdate proposes a new group view.
+	TypeViewUpdate = proto.RangeGroup + 3
+	// TypeViewAck acknowledges a proposed view.
+	TypeViewAck = proto.RangeGroup + 4
+	// TypeViewCommit finalizes a view after a 2f+1 quorum of acks.
+	TypeViewCommit = proto.RangeGroup + 5
+)
+
+// JoinReq asks the manager to place the sender in a group.
+type JoinReq struct{}
+
+// Type implements proto.Message.
+func (*JoinReq) Type() proto.MsgType { return TypeJoinReq }
+
+// EncodeTo implements wire.Encodable.
+func (*JoinReq) EncodeTo(*wire.Writer) {}
+
+// DecodeFrom implements wire.Encodable.
+func (*JoinReq) DecodeFrom(r *wire.Reader) error { return r.Err() }
+
+// LeaveReq announces the sender's departure.
+type LeaveReq struct{}
+
+// Type implements proto.Message.
+func (*LeaveReq) Type() proto.MsgType { return TypeLeaveReq }
+
+// EncodeTo implements wire.Encodable.
+func (*LeaveReq) EncodeTo(*wire.Writer) {}
+
+// DecodeFrom implements wire.Encodable.
+func (*LeaveReq) DecodeFrom(r *wire.Reader) error { return r.Err() }
+
+// ViewUpdate proposes group membership at a view number.
+type ViewUpdate struct {
+	View    uint64
+	Group   uint32
+	Members []proto.NodeID
+}
+
+// Type implements proto.Message.
+func (*ViewUpdate) Type() proto.MsgType { return TypeViewUpdate }
+
+// EncodeTo implements wire.Encodable.
+func (m *ViewUpdate) EncodeTo(w *wire.Writer) {
+	w.U64(m.View)
+	w.U32(m.Group)
+	w.Uvarint(uint64(len(m.Members)))
+	for _, n := range m.Members {
+		w.NodeID(n)
+	}
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *ViewUpdate) DecodeFrom(r *wire.Reader) error {
+	m.View = r.U64()
+	m.Group = r.U32()
+	n := r.Uvarint()
+	if n > 4096 {
+		return wire.ErrOverflow
+	}
+	m.Members = make([]proto.NodeID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Members = append(m.Members, r.NodeID())
+	}
+	return r.Err()
+}
+
+// ViewAck acknowledges a ViewUpdate.
+type ViewAck struct {
+	View uint64
+}
+
+// Type implements proto.Message.
+func (*ViewAck) Type() proto.MsgType { return TypeViewAck }
+
+// EncodeTo implements wire.Encodable.
+func (m *ViewAck) EncodeTo(w *wire.Writer) { w.U64(m.View) }
+
+// DecodeFrom implements wire.Encodable.
+func (m *ViewAck) DecodeFrom(r *wire.Reader) error {
+	m.View = r.U64()
+	return r.Err()
+}
+
+// ViewCommit finalizes a view.
+type ViewCommit struct {
+	View    uint64
+	Group   uint32
+	Members []proto.NodeID
+}
+
+// Type implements proto.Message.
+func (*ViewCommit) Type() proto.MsgType { return TypeViewCommit }
+
+// EncodeTo implements wire.Encodable.
+func (m *ViewCommit) EncodeTo(w *wire.Writer) {
+	(&ViewUpdate{View: m.View, Group: m.Group, Members: m.Members}).EncodeTo(w)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *ViewCommit) DecodeFrom(r *wire.Reader) error {
+	var u ViewUpdate
+	if err := u.DecodeFrom(r); err != nil {
+		return err
+	}
+	m.View, m.Group, m.Members = u.View, u.Group, u.Members
+	return nil
+}
+
+// RegisterMessages adds this package's messages to a codec.
+func RegisterMessages(c *wire.Codec) {
+	c.Register(TypeJoinReq, func() wire.Encodable { return new(JoinReq) })
+	c.Register(TypeLeaveReq, func() wire.Encodable { return new(LeaveReq) })
+	c.Register(TypeViewUpdate, func() wire.Encodable { return new(ViewUpdate) })
+	c.Register(TypeViewAck, func() wire.Encodable { return new(ViewAck) })
+	c.Register(TypeViewCommit, func() wire.Encodable { return new(ViewCommit) })
+}
+
+// Compile-time interface checks.
+var (
+	_ wire.Encodable = (*JoinReq)(nil)
+	_ wire.Encodable = (*LeaveReq)(nil)
+	_ wire.Encodable = (*ViewUpdate)(nil)
+	_ wire.Encodable = (*ViewAck)(nil)
+	_ wire.Encodable = (*ViewCommit)(nil)
+)
+
+// pendingView tracks one proposed view at the manager.
+type pendingView struct {
+	update    *ViewUpdate
+	acks      map[proto.NodeID]bool
+	committed bool
+}
+
+// Manager is the Reiter-style membership sequencer (§IV-C: "Reiter's
+// protocol implements a manager-based system tolerating up to one third
+// of malicious nodes"). It serializes joins/leaves through a Directory
+// and distributes quorum-acknowledged views: a view is committed once
+// 2f+1 members (f = ⌊(g−1)/3⌋) acknowledge it. Under the
+// honest-but-curious model the manager itself is trusted to follow the
+// protocol; view signatures are a deployment concern recorded in
+// DESIGN.md.
+type Manager struct {
+	dir      *Directory
+	nextView uint64
+	views    map[uint64]*pendingView
+	lastSent map[ID]string // last broadcast membership per group
+}
+
+var _ proto.Handler = (*Manager)(nil)
+
+// NewManager returns a manager over the directory.
+func NewManager(dir *Directory) *Manager {
+	return &Manager{
+		dir:      dir,
+		views:    make(map[uint64]*pendingView),
+		lastSent: make(map[ID]string),
+	}
+}
+
+// Directory exposes the underlying directory (read-only use).
+func (m *Manager) Directory() *Directory { return m.dir }
+
+// Init implements proto.Handler.
+func (*Manager) Init(proto.Context) {}
+
+// HandleTimer implements proto.Handler.
+func (*Manager) HandleTimer(proto.Context, any) {}
+
+// HandleMessage implements proto.Handler.
+func (m *Manager) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	switch mm := msg.(type) {
+	case *JoinReq:
+		if err := m.dir.Join(from, ctx.Rand()); err != nil {
+			return
+		}
+		m.broadcastChangedViews(ctx)
+	case *LeaveReq:
+		if err := m.dir.Leave(from, ctx.Rand()); err != nil {
+			return
+		}
+		m.broadcastChangedViews(ctx)
+	case *ViewAck:
+		m.onAck(ctx, from, mm)
+	}
+}
+
+func membersKey(members []proto.NodeID) string {
+	b := make([]byte, 0, len(members)*4)
+	for _, n := range members {
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return string(b)
+}
+
+// broadcastChangedViews proposes a new view for every group whose
+// membership changed since the last proposal.
+func (m *Manager) broadcastChangedViews(ctx proto.Context) {
+	seen := make(map[ID]bool)
+	for _, g := range m.dir.Groups() {
+		seen[g.ID] = true
+		key := membersKey(g.Members)
+		if m.lastSent[g.ID] == key {
+			continue
+		}
+		m.lastSent[g.ID] = key
+		m.nextView++
+		update := &ViewUpdate{View: m.nextView, Group: uint32(g.ID), Members: slices.Clone(g.Members)}
+		m.views[m.nextView] = &pendingView{update: update, acks: make(map[proto.NodeID]bool)}
+		for _, member := range g.Members {
+			ctx.Send(member, update)
+		}
+	}
+	for id := range m.lastSent {
+		if !seen[id] {
+			delete(m.lastSent, id) // group dissolved
+		}
+	}
+}
+
+// Quorum returns the 2f+1 commit quorum for a group of size g with
+// f = ⌊(g−1)/3⌋.
+func Quorum(g int) int {
+	f := (g - 1) / 3
+	return 2*f + 1
+}
+
+func (m *Manager) onAck(ctx proto.Context, from proto.NodeID, ack *ViewAck) {
+	pv := m.views[ack.View]
+	if pv == nil || pv.committed {
+		return
+	}
+	if !slices.Contains(pv.update.Members, from) {
+		return
+	}
+	pv.acks[from] = true
+	if len(pv.acks) >= Quorum(len(pv.update.Members)) {
+		pv.committed = true
+		commit := &ViewCommit{View: pv.update.View, Group: pv.update.Group, Members: pv.update.Members}
+		for _, member := range pv.update.Members {
+			ctx.Send(member, commit)
+		}
+	}
+}
+
+// View is a client's committed group view.
+type View struct {
+	Number  uint64
+	Group   ID
+	Members []proto.NodeID
+}
+
+// Client is a member's side of the membership protocol.
+type Client struct {
+	manager proto.NodeID
+	view    *View
+	// OnView fires when a new view commits.
+	OnView func(ctx proto.Context, v View)
+}
+
+var _ proto.Handler = (*Client)(nil)
+
+// NewClient returns a client that talks to the given manager node.
+func NewClient(manager proto.NodeID) *Client {
+	return &Client{manager: manager}
+}
+
+// CurrentView returns the last committed view, or nil.
+func (c *Client) CurrentView() *View { return c.view }
+
+// Join requests placement.
+func (c *Client) Join(ctx proto.Context) { ctx.Send(c.manager, &JoinReq{}) }
+
+// Leave announces departure.
+func (c *Client) Leave(ctx proto.Context) { ctx.Send(c.manager, &LeaveReq{}) }
+
+// Init implements proto.Handler.
+func (*Client) Init(proto.Context) {}
+
+// HandleTimer implements proto.Handler.
+func (*Client) HandleTimer(proto.Context, any) {}
+
+// HandleMessage implements proto.Handler.
+func (c *Client) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	if from != c.manager {
+		return
+	}
+	switch mm := msg.(type) {
+	case *ViewUpdate:
+		ctx.Send(c.manager, &ViewAck{View: mm.View})
+	case *ViewCommit:
+		if c.view != nil && mm.View <= c.view.Number {
+			return
+		}
+		c.view = &View{Number: mm.View, Group: ID(mm.Group), Members: mm.Members}
+		if c.OnView != nil {
+			c.OnView(ctx, *c.view)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package group
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// bootClient is a Client that joins automatically shortly after Init and
+// can be told to leave via a timer, so all protocol traffic flows through
+// the simulated network.
+type bootClient struct {
+	*Client
+	joinAt time.Duration
+}
+
+func (b *bootClient) Init(ctx proto.Context) {
+	ctx.SetTimer(b.joinAt, "join")
+}
+
+func (b *bootClient) HandleTimer(ctx proto.Context, payload any) {
+	switch payload {
+	case "join":
+		b.Join(ctx)
+	case "leave":
+		b.Leave(ctx)
+	default:
+		b.Client.HandleTimer(ctx, payload)
+	}
+}
+
+// managerWorld wires one Manager (node 0) and n−1 bootClients.
+type managerWorld struct {
+	net     *sim.Network
+	dir     *Directory
+	manager *Manager
+	clients []*bootClient
+	commits []int
+}
+
+func newManagerWorld(t *testing.T, n, k int, seed uint64) *managerWorld {
+	t.Helper()
+	g, err := topology.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := NewDirectory(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &managerWorld{
+		net:     sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(2 * time.Millisecond)}),
+		dir:     dir,
+		manager: NewManager(dir),
+		clients: make([]*bootClient, n),
+		commits: make([]int, n),
+	}
+	w.net.SetHandlers(func(id proto.NodeID) proto.Handler {
+		if id == 0 {
+			return w.manager
+		}
+		c := &bootClient{Client: NewClient(0), joinAt: time.Duration(id) * 10 * time.Millisecond}
+		i := int(id)
+		c.OnView = func(proto.Context, View) { w.commits[i]++ }
+		w.clients[id] = c
+		return c
+	})
+	w.net.Start()
+	return w
+}
+
+func TestManagerJoinFormsConsistentViews(t *testing.T) {
+	const n, k = 10, 4
+	w := newManagerWorld(t, n, k, 33)
+	w.net.Run(0)
+
+	if err := w.dir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	for _, grp := range w.dir.Groups() {
+		placed += grp.Size()
+		if grp.Size() < k || grp.Size() > 2*k-1 {
+			t.Errorf("group size %d outside [%d,%d]", grp.Size(), k, 2*k-1)
+		}
+	}
+	if placed+len(w.dir.Pending()) != n-1 {
+		t.Errorf("placed %d + pending %d != %d", placed, len(w.dir.Pending()), n-1)
+	}
+
+	// Every placed client's committed view matches the directory.
+	for id := 1; id < n; id++ {
+		gids := w.dir.GroupsOf(proto.NodeID(id))
+		if len(gids) == 0 {
+			continue
+		}
+		v := w.clients[id].CurrentView()
+		if v == nil {
+			t.Errorf("client %d placed but has no committed view", id)
+			continue
+		}
+		grp := w.dir.Group(v.Group)
+		if grp == nil {
+			t.Errorf("client %d view references dead group %d", id, v.Group)
+			continue
+		}
+		if !grp.Contains(proto.NodeID(id)) {
+			t.Errorf("client %d not a member of its view group", id)
+		}
+		if w.commits[id] == 0 {
+			t.Errorf("client %d saw no commits", id)
+		}
+	}
+}
+
+func TestManagerLeaveTriggersNewViews(t *testing.T) {
+	const n, k = 10, 4
+	w := newManagerWorld(t, n, k, 35)
+	w.net.Run(0)
+	if err := w.dir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups := w.dir.Groups()
+	if len(groups) == 0 {
+		t.Fatal("no groups formed")
+	}
+	victim := groups[0].Members[0]
+	w.net.InjectTimer(victim, "leave")
+	w.net.Run(0)
+
+	if w.dir.Known(victim) {
+		t.Errorf("victim %d still known after leave", victim)
+	}
+	if err := w.dir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerToleratesCrashedMinority(t *testing.T) {
+	// Group of up to 7 (k=4): f = ⌊(g−1)/3⌋; commits need 2f+1 acks.
+	// Crash two members after placement; later joins still commit views
+	// at live members.
+	const n, k = 12, 4
+	w := newManagerWorld(t, n, k, 41)
+	// Let the first 7 clients join (ids 1..7 join by 70ms).
+	w.net.RunUntil(80 * time.Millisecond)
+
+	groups := w.dir.Groups()
+	if len(groups) == 0 {
+		t.Fatal("no group formed")
+	}
+	crashed := 0
+	for _, m := range groups[0].Members {
+		if crashed < 2 {
+			w.net.Crash(m)
+			crashed++
+		}
+	}
+	for i := range w.commits {
+		w.commits[i] = 0
+	}
+	w.net.Run(0) // remaining joins trigger new views
+
+	for id := 1; id < n; id++ {
+		nid := proto.NodeID(id)
+		if w.net.Crashed(nid) {
+			continue
+		}
+		if len(w.dir.GroupsOf(nid)) > 0 && w.clients[id].CurrentView() == nil {
+			t.Errorf("live placed client %d has no view", id)
+		}
+	}
+	if err := w.dir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

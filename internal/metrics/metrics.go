@@ -1,0 +1,150 @@
+// Package metrics provides the small statistics toolkit used by the
+// experiment harness: streaming summaries (Welford), counters keyed by
+// message type, and plain-text / Markdown / CSV table rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates scalar observations and reports basic statistics.
+// The zero value is ready to use. Percentiles retain all samples; use
+// NewOnlineSummary for moment-only accumulation on huge streams.
+type Summary struct {
+	samples []float64
+	sorted  bool
+
+	n           int
+	mean, m2    float64
+	min, max    float64
+	keepSamples bool
+}
+
+// NewSummary returns a Summary that retains samples (percentiles allowed).
+func NewSummary() *Summary { return &Summary{keepSamples: true, min: math.Inf(1), max: math.Inf(-1)} }
+
+// NewOnlineSummary returns a Summary that keeps only streaming moments.
+func NewOnlineSummary() *Summary { return &Summary{min: math.Inf(1), max: math.Inf(-1)} }
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 && s.min == 0 && s.max == 0 { // zero-value Summary
+		s.keepSamples = true
+		s.min, s.max = math.Inf(1), math.Inf(-1)
+	}
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if s.keepSamples {
+		s.samples = append(s.samples, v)
+		s.sorted = false
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Sum returns the sum of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or +Inf with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or -Inf with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation. It panics if the summary does not retain samples.
+func (s *Summary) Percentile(p float64) float64 {
+	if !s.keepSamples && s.n > 0 {
+		panic("metrics: Percentile on online-only Summary")
+	}
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := p / 100 * float64(len(s.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// String formats the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.Std(), s.min, s.max)
+}
+
+// Counter is a string-keyed tally, used for per-message-type accounting.
+// The zero value is ready to use.
+type Counter struct {
+	counts map[string]int64
+}
+
+// Inc adds delta to the named tally.
+func (c *Counter) Inc(name string, delta int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += delta
+}
+
+// Get returns the named tally.
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Total returns the sum of all tallies.
+func (c *Counter) Total() int64 {
+	var t int64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Names returns all tally names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

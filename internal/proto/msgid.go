@@ -1,0 +1,28 @@
+package proto
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// MsgIDSize is the size of a message identifier in bytes.
+const MsgIDSize = 16
+
+// MsgID identifies a broadcast payload. It is the truncated SHA-256 of the
+// payload, so every node derives the same ID independently and the ID leaks
+// nothing beyond the payload itself.
+type MsgID [MsgIDSize]byte
+
+// NewMsgID derives the message ID for a payload.
+func NewMsgID(payload []byte) MsgID {
+	sum := sha256.Sum256(payload)
+	var id MsgID
+	copy(id[:], sum[:MsgIDSize])
+	return id
+}
+
+// String returns the hex form of the ID.
+func (id MsgID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the zero value.
+func (id MsgID) IsZero() bool { return id == MsgID{} }

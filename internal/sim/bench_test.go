@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/topology"
+)
+
+// BenchmarkEngineScheduleRun measures raw event throughput.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i), func() {})
+	}
+	e.Run(0)
+}
+
+// BenchmarkNetworkFlood measures a full 1000-node broadcast through the
+// runtime (the E1 inner loop).
+func BenchmarkNetworkFlood(b *testing.B) {
+	g, err := topology.RandomRegular(1000, 8, testBenchRNG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := NewNetwork(g, Options{Seed: uint64(i + 1)})
+		net.SetHandlers(func(proto.NodeID) proto.Handler { return &benchFlood{seen: make(map[proto.MsgID]struct{})} })
+		net.Start()
+		if _, err := net.Originate(0, []byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+		net.Run(0)
+	}
+}
+
+// benchFlood is a minimal flood handler without cross-package imports.
+type benchFlood struct{ seen map[proto.MsgID]struct{} }
+
+type benchMsg struct {
+	id      proto.MsgID
+	payload []byte
+}
+
+func (*benchMsg) Type() proto.MsgType { return 0x7f20 }
+
+func (f *benchFlood) Init(proto.Context) {}
+func (f *benchFlood) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	m, ok := msg.(*benchMsg)
+	if !ok {
+		return
+	}
+	if _, dup := f.seen[m.id]; dup {
+		return
+	}
+	f.seen[m.id] = struct{}{}
+	ctx.DeliverLocal(m.id, m.payload)
+	for _, nb := range ctx.Neighbors() {
+		if nb != from {
+			ctx.Send(nb, m)
+		}
+	}
+}
+func (f *benchFlood) HandleTimer(proto.Context, any) {}
+
+// Broadcast makes benchFlood a Broadcaster for Originate.
+func (f *benchFlood) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, error) {
+	id := proto.NewMsgID(payload)
+	f.seen[id] = struct{}{}
+	ctx.DeliverLocal(id, payload)
+	for _, nb := range ctx.Neighbors() {
+		ctx.Send(nb, &benchMsg{id: id, payload: payload})
+	}
+	return id, nil
+}
+
+func testBenchRNG() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := e.Run(0); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(time.Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run(0)
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 2*time.Millisecond {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	timer := e.Schedule(time.Millisecond, func() { ran = true })
+	timer.Cancel()
+	timer.Cancel() // idempotent
+	e.Run(0)
+	if ran {
+		t.Error("canceled event fired")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(1*time.Millisecond, func() { fired = append(fired, 1) })
+	e.Schedule(2*time.Millisecond, func() { fired = append(fired, 2) })
+	e.Schedule(3*time.Millisecond, func() { fired = append(fired, 3) })
+	if n := e.RunUntil(2 * time.Millisecond); n != 2 {
+		t.Errorf("RunUntil executed %d, want 2 (deadline inclusive)", n)
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired = %v", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(0)
+	if len(fired) != 3 {
+		t.Errorf("fired after final Run = %v", fired)
+	}
+}
+
+func TestEngineMaxEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		e.Schedule(time.Millisecond, reschedule)
+	}
+	e.Schedule(time.Millisecond, reschedule)
+	if n := e.Run(100); n != 100 {
+		t.Errorf("Run(100) executed %d", n)
+	}
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if e.Steps() != 100 {
+		t.Errorf("Steps = %d, want 100", e.Steps())
+	}
+}
+
+func TestEngineNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-5*time.Millisecond, func() { ran = true })
+	e.Run(0)
+	if !ran {
+		t.Error("negative-delay event did not fire")
+	}
+	if e.Now() != 0 {
+		t.Errorf("Now = %v, want 0", e.Now())
+	}
+}

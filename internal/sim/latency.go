@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// LatencyModel yields the one-way delay for a message on a link. Models
+// must be deterministic given the supplied RNG.
+type LatencyModel interface {
+	Delay(from, to proto.NodeID, rng *rand.Rand) time.Duration
+}
+
+// ConstLatency delays every message by a fixed amount.
+type ConstLatency time.Duration
+
+// Delay implements LatencyModel.
+func (c ConstLatency) Delay(_, _ proto.NodeID, _ *rand.Rand) time.Duration {
+	return time.Duration(c)
+}
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(_, _ proto.NodeID, rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int64N(int64(u.Max-u.Min)+1))
+}
+
+// assertLatencyModels verifies interface compliance at compile time.
+var (
+	_ LatencyModel = ConstLatency(0)
+	_ LatencyModel = UniformLatency{}
+)

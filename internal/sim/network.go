@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Tap observes network activity without being able to influence it; the
+// adversary framework and experiment tracers are Taps. Callbacks run
+// synchronously inside the event loop and must not mutate the network.
+type Tap interface {
+	// OnSend fires when a message is handed to the network by from.
+	OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message)
+	// OnDeliverLocal fires when a node first reports local delivery of a
+	// broadcast payload.
+	OnDeliverLocal(at time.Duration, node proto.NodeID, id proto.MsgID, payload []byte)
+}
+
+// Options configure a Network.
+type Options struct {
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// Latency is the link delay model. Default: ConstLatency(10ms).
+	Latency LatencyModel
+	// Codec enables byte accounting when non-nil: every sent message that
+	// implements wire.Encodable is size-counted.
+	Codec *wire.Codec
+	// DropRate drops each message independently with this probability
+	// (failure injection; default 0).
+	DropRate float64
+}
+
+// Network hosts one Handler per topology node under the event engine.
+type Network struct {
+	engine *Engine
+	topo   *topology.Graph
+	opts   Options
+
+	nodes []*simNode
+	taps  []Tap
+
+	latencyRNG *rand.Rand
+	dropRNG    *rand.Rand
+
+	msgCount  map[proto.MsgType]int64
+	byteCount map[proto.MsgType]int64
+	totalMsgs int64
+	totalByte int64
+
+	// lastArrival enforces per-link FIFO: like TCP, a link never reorders.
+	lastArrival map[linkKey]time.Duration
+
+	deliveries map[proto.MsgID]map[proto.NodeID]time.Duration
+	started    bool
+}
+
+// NewNetwork creates a network over the topology. Handlers are attached
+// with SetHandlers before Start.
+func NewNetwork(topo *topology.Graph, opts Options) *Network {
+	if opts.Latency == nil {
+		opts.Latency = ConstLatency(10 * time.Millisecond)
+	}
+	n := &Network{
+		engine:      NewEngine(),
+		topo:        topo,
+		opts:        opts,
+		nodes:       make([]*simNode, topo.N()),
+		latencyRNG:  rand.New(rand.NewPCG(opts.Seed, 0xda3e39cb94b95bdb)),
+		dropRNG:     rand.New(rand.NewPCG(opts.Seed, 0x2545f4914f6cdd1d)),
+		msgCount:    make(map[proto.MsgType]int64),
+		byteCount:   make(map[proto.MsgType]int64),
+		deliveries:  make(map[proto.MsgID]map[proto.NodeID]time.Duration),
+		lastArrival: make(map[linkKey]time.Duration),
+	}
+	for i := range n.nodes {
+		id := proto.NodeID(i)
+		n.nodes[i] = &simNode{
+			net:    n,
+			id:     id,
+			rng:    rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15^uint64(i+1))),
+			timers: make(map[proto.TimerID]*Timer),
+		}
+	}
+	return n
+}
+
+// Engine exposes the underlying event engine (for RunUntil etc.).
+func (n *Network) Engine() *Engine { return n.engine }
+
+// Topology returns the overlay graph.
+func (n *Network) Topology() *topology.Graph { return n.topo }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.engine.Now() }
+
+// AddTap registers an observer. Must be called before Start.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// SetHandlers installs one handler per node using the factory. Must be
+// called exactly once before Start.
+func (n *Network) SetHandlers(factory func(id proto.NodeID) proto.Handler) {
+	for _, node := range n.nodes {
+		node.handler = factory(node.id)
+	}
+}
+
+// Handler returns the handler installed at id, or nil.
+func (n *Network) Handler(id proto.NodeID) proto.Handler {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[id].handler
+}
+
+// Start initializes all handlers in node-ID order.
+func (n *Network) Start() {
+	if n.started {
+		panic("sim: Network.Start called twice")
+	}
+	n.started = true
+	for _, node := range n.nodes {
+		if node.handler == nil {
+			panic(fmt.Sprintf("sim: node %d has no handler", node.id))
+		}
+		node.handler.Init(node)
+	}
+}
+
+// Run drains the event queue (maxEvents ≤ 0: unbounded) and returns the
+// number of events executed.
+func (n *Network) Run(maxEvents uint64) uint64 { return n.engine.Run(maxEvents) }
+
+// RunUntil executes events up to and including the given virtual time.
+func (n *Network) RunUntil(deadline time.Duration) uint64 { return n.engine.RunUntil(deadline) }
+
+// Originate injects a broadcast payload at the given node. The node's
+// handler must implement proto.Broadcaster.
+func (n *Network) Originate(at proto.NodeID, payload []byte) (proto.MsgID, error) {
+	node := n.nodes[at]
+	b, ok := node.handler.(proto.Broadcaster)
+	if !ok {
+		return proto.MsgID{}, fmt.Errorf("sim: handler at node %d is not a Broadcaster (%T)", at, node.handler)
+	}
+	return b.Broadcast(node, payload)
+}
+
+// InjectTimer schedules an immediate HandleTimer(payload) call at the
+// node through the event loop — a hook for tests and experiment drivers
+// to trigger handler actions without reaching into handler internals.
+func (n *Network) InjectTimer(id proto.NodeID, payload any) {
+	node := n.nodes[id]
+	n.engine.Schedule(0, func() {
+		if node.crashed {
+			return
+		}
+		node.handler.HandleTimer(node, payload)
+	})
+}
+
+// Crash takes a node offline: its timers stop firing and messages to it
+// are dropped at delivery time.
+func (n *Network) Crash(id proto.NodeID) { n.nodes[id].crashed = true }
+
+// Restore brings a crashed node back online. Timers set before the crash
+// stay lost; the handler state is preserved.
+func (n *Network) Restore(id proto.NodeID) { n.nodes[id].crashed = false }
+
+// Crashed reports whether the node is offline.
+func (n *Network) Crashed(id proto.NodeID) bool { return n.nodes[id].crashed }
+
+// TotalMessages returns the number of messages sent so far.
+func (n *Network) TotalMessages() int64 { return n.totalMsgs }
+
+// TotalBytes returns the number of payload bytes sent so far (0 unless a
+// codec was configured).
+func (n *Network) TotalBytes() int64 { return n.totalByte }
+
+// MessagesOfType returns the count of sent messages with the given type.
+func (n *Network) MessagesOfType(t proto.MsgType) int64 { return n.msgCount[t] }
+
+// BytesOfType returns the byte count for one message type.
+func (n *Network) BytesOfType(t proto.MsgType) int64 { return n.byteCount[t] }
+
+// ResetCounters zeroes message/byte counters (e.g. after warm-up).
+func (n *Network) ResetCounters() {
+	n.totalMsgs, n.totalByte = 0, 0
+	clear(n.msgCount)
+	clear(n.byteCount)
+}
+
+// Delivered returns how many nodes have locally delivered the payload.
+func (n *Network) Delivered(id proto.MsgID) int { return len(n.deliveries[id]) }
+
+// DeliveryTime returns the first local-delivery time of id at node.
+func (n *Network) DeliveryTime(id proto.MsgID, node proto.NodeID) (time.Duration, bool) {
+	t, ok := n.deliveries[id][node]
+	return t, ok
+}
+
+// DeliveryTimes returns the first-delivery time map for a payload. The
+// caller must not mutate it.
+func (n *Network) DeliveryTimes(id proto.MsgID) map[proto.NodeID]time.Duration {
+	return n.deliveries[id]
+}
+
+func (n *Network) recordDelivery(at time.Duration, node proto.NodeID, id proto.MsgID, payload []byte) {
+	m := n.deliveries[id]
+	if m == nil {
+		m = make(map[proto.NodeID]time.Duration)
+		n.deliveries[id] = m
+	}
+	if _, seen := m[node]; seen {
+		return // only first delivery counts
+	}
+	m[node] = at
+	for _, tap := range n.taps {
+		tap.OnDeliverLocal(at, node, id, payload)
+	}
+}
+
+func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
+	if int(to) < 0 || int(to) >= len(n.nodes) {
+		panic(fmt.Sprintf("sim: node %d sent to invalid node %d", from.id, to))
+	}
+	n.totalMsgs++
+	n.msgCount[msg.Type()]++
+	if n.opts.Codec != nil {
+		if enc, ok := msg.(wire.Encodable); ok {
+			size := int64(n.opts.Codec.Size(enc))
+			n.totalByte += size
+			n.byteCount[msg.Type()] += size
+		}
+	}
+	for _, tap := range n.taps {
+		tap.OnSend(n.engine.Now(), from.id, to, msg)
+	}
+	if n.opts.DropRate > 0 && n.dropRNG.Float64() < n.opts.DropRate {
+		return
+	}
+	delay := n.opts.Latency.Delay(from.id, to, n.latencyRNG)
+	// Clamp to per-link FIFO: a later send never overtakes an earlier one
+	// on the same directed link, matching TCP stream semantics.
+	key := linkKey{from.id, to}
+	arrival := n.engine.Now() + delay
+	if prev := n.lastArrival[key]; arrival < prev {
+		arrival = prev
+	}
+	n.lastArrival[key] = arrival
+	dst := n.nodes[to]
+	src := from.id
+	n.engine.Schedule(arrival-n.engine.Now(), func() {
+		if dst.crashed {
+			return
+		}
+		dst.handler.HandleMessage(dst, src, msg)
+	})
+}
+
+// linkKey identifies a directed link for FIFO bookkeeping.
+type linkKey struct {
+	from, to proto.NodeID
+}
+
+// simNode implements proto.Context for one simulated node.
+type simNode struct {
+	net     *Network
+	id      proto.NodeID
+	rng     *rand.Rand
+	handler proto.Handler
+	crashed bool
+
+	nextTimer proto.TimerID
+	timers    map[proto.TimerID]*Timer
+}
+
+var _ proto.Context = (*simNode)(nil)
+
+func (s *simNode) Self() proto.NodeID { return s.id }
+
+func (s *simNode) Now() time.Duration { return s.net.engine.Now() }
+
+func (s *simNode) Rand() *rand.Rand { return s.rng }
+
+func (s *simNode) Neighbors() []proto.NodeID { return s.net.topo.Neighbors(s.id) }
+
+func (s *simNode) Send(to proto.NodeID, msg proto.Message) { s.net.send(s, to, msg) }
+
+func (s *simNode) SetTimer(delay time.Duration, payload any) proto.TimerID {
+	s.nextTimer++
+	id := s.nextTimer
+	s.timers[id] = s.net.engine.Schedule(delay, func() {
+		delete(s.timers, id)
+		if s.crashed {
+			return
+		}
+		s.handler.HandleTimer(s, payload)
+	})
+	return id
+}
+
+func (s *simNode) CancelTimer(id proto.TimerID) {
+	if t, ok := s.timers[id]; ok {
+		t.Cancel()
+		delete(s.timers, id)
+	}
+}
+
+func (s *simNode) DeliverLocal(id proto.MsgID, payload []byte) {
+	s.net.recordDelivery(s.net.engine.Now(), s.id, id, payload)
+}

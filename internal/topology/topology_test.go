@@ -1,0 +1,288 @@
+package topology
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+)
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(0, 1) {
+		t.Error("HasEdge not symmetric")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees wrong: %d, %d", g.Degree(0), g.Degree(2))
+	}
+}
+
+func TestBFSAndDiameterOnLine(t *testing.T) {
+	g, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFS(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Errorf("Diameter = %d, want 4", d)
+	}
+	if d := g.ApproxDiameter(); d != 4 {
+		t.Errorf("ApproxDiameter = %d, want 4 (exact on trees)", d)
+	}
+	if !g.Connected() {
+		t.Error("line not connected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if d := g.Diameter(); d != -1 {
+		t.Errorf("Diameter = %d, want -1", d)
+	}
+	if d := g.BFS(0)[3]; d != -1 {
+		t.Errorf("unreachable dist = %d, want -1", d)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := testRNG(1)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {50, 4}, {1000, 8}} {
+		g, err := RandomRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < tc.n; v++ {
+			if g.Degree(proto.NodeID(v)) != tc.d {
+				t.Fatalf("node %d degree = %d, want %d", v, g.Degree(proto.NodeID(v)), tc.d)
+			}
+		}
+		if !g.Connected() {
+			t.Errorf("RandomRegular(%d,%d) not connected", tc.n, tc.d)
+		}
+		if g.M() != tc.n*tc.d/2 {
+			t.Errorf("M = %d, want %d", g.M(), tc.n*tc.d/2)
+		}
+	}
+}
+
+func TestRandomRegularInfeasible(t *testing.T) {
+	rng := testRNG(2)
+	cases := []struct{ n, d int }{{5, 3}, {4, 4}, {3, 1}, {0, 2}}
+	for _, tc := range cases {
+		if _, err := RandomRegular(tc.n, tc.d, rng); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("RandomRegular(%d,%d) err = %v, want ErrInfeasible", tc.n, tc.d, err)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := testRNG(3)
+	g, err := ErdosRenyi(200, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges = C(200,2)*0.05 = 995; allow generous slack.
+	if g.M() < 700 || g.M() > 1300 {
+		t.Errorf("ER edge count %d far from expectation 995", g.M())
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("p>1 accepted: %v", err)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	rng := testRNG(4)
+	g, err := WattsStrogatz(100, 6, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() < 270 || g.M() > 300 {
+		t.Errorf("WS edge count %d, want ~300", g.M())
+	}
+	if _, err := WattsStrogatz(10, 3, 0.1, rng); !errors.Is(err, ErrInfeasible) {
+		t.Error("odd k accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := testRNG(5)
+	g, err := BarabasiAlbert(300, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("BA graph not connected")
+	}
+	// Seed clique C(4,2)=6 edges + 296*3 new edges.
+	want := 6 + 296*3
+	if g.M() != want {
+		t.Errorf("BA M = %d, want %d", g.M(), want)
+	}
+	// Scale-free graphs have a hub: max degree well above m.
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(proto.NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 10 {
+		t.Errorf("BA max degree %d suspiciously small", maxDeg)
+	}
+}
+
+func TestRingCompleteTree(t *testing.T) {
+	ring, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.M() != 6 || ring.Diameter() != 3 {
+		t.Errorf("ring: M=%d diam=%d", ring.M(), ring.Diameter())
+	}
+
+	kn, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn.M() != 10 || kn.Diameter() != 1 {
+		t.Errorf("K5: M=%d diam=%d", kn.M(), kn.Diameter())
+	}
+
+	tree, err := RegularTree(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 2, d=3: 1 + 3 + 6 = 10 nodes, 9 edges, diameter 4.
+	if tree.N() != 10 || tree.M() != 9 || tree.Diameter() != 4 {
+		t.Errorf("tree: N=%d M=%d diam=%d, want 10/9/4", tree.N(), tree.M(), tree.Diameter())
+	}
+	if tree.Degree(0) != 3 {
+		t.Errorf("root degree = %d, want 3", tree.Degree(0))
+	}
+	if !tree.Connected() {
+		t.Error("tree not connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, err := Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := c.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("Clone shares storage with original")
+	}
+	if c.M() != g.M()+1 {
+		t.Errorf("clone M = %d, want %d", c.M(), g.M()+1)
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	rng := testRNG(6)
+	specs := []Spec{
+		{Kind: KindRandomRegular, N: 20, Deg: 4},
+		{Kind: KindErdosRenyi, N: 20, P: 0.3},
+		{Kind: KindWattsStrogatz, N: 20, Deg: 4, P: 0.1},
+		{Kind: KindBarabasiAlbert, N: 20, Deg: 2},
+		{Kind: KindRing, N: 20},
+		{Kind: KindLine, N: 20},
+		{Kind: KindComplete, N: 10},
+		{Kind: KindRegularTree, Deg: 3, Depth: 3},
+	}
+	for _, s := range specs {
+		g, err := s.Build(rng)
+		if err != nil {
+			t.Errorf("Build(%v): %v", s.Kind, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("Build(%v): empty graph", s.Kind)
+		}
+	}
+	if _, err := (Spec{Kind: Kind(99)}).Build(rng); !errors.Is(err, ErrInfeasible) {
+		t.Error("unknown kind accepted")
+	}
+	names := map[Kind]string{KindRandomRegular: "random-regular", KindLine: "line", Kind(99): "Kind(99)"}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along edges —
+// neighbor distances differ by at most 1.
+func TestBFSNeighborProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		g, err := RandomRegular(60, 4, rng)
+		if err != nil {
+			return false
+		}
+		src := g.RandomNode(rng)
+		dist := g.BFS(src)
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Neighbors(proto.NodeID(v)) {
+				diff := dist[v] - dist[w]
+				if diff < -1 || diff > 1 {
+					return false
+				}
+			}
+		}
+		return dist[src] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the double-sweep approximation never exceeds the true
+// diameter and is exact on trees.
+func TestApproxDiameterBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		g, err := RandomRegular(40, 3, rng)
+		if err != nil {
+			return false
+		}
+		return g.ApproxDiameter() <= g.Diameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package transport runs a proto.Handler over real TCP links: the same
+// protocol state machines that run under the deterministic simulator run
+// here against length-prefixed frames on sockets. A single event-loop
+// goroutine serializes all handler invocations (messages and timers), so
+// handlers keep their no-concurrency contract.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Config parametrizes a TCP runtime node.
+type Config struct {
+	// Self is this node's overlay ID.
+	Self proto.NodeID
+	// Listen is the TCP listen address (e.g. "127.0.0.1:0").
+	Listen string
+	// AddrBook maps every node this one may contact to its address.
+	AddrBook map[proto.NodeID]string
+	// Neighbors is the overlay adjacency (what Context.Neighbors returns).
+	Neighbors []proto.NodeID
+	// Codec serializes messages; register all protocol messages on it.
+	Codec *wire.Codec
+	// Handler is the protocol state machine.
+	Handler proto.Handler
+	// OnDeliver receives locally delivered broadcast payloads.
+	OnDeliver func(id proto.MsgID, payload []byte)
+	// Seed seeds the node's RNG (derive from crypto/rand in production).
+	Seed uint64
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+	// MailboxSize bounds the event queue (default 1024). The buffer
+	// absorbs bursts from concurrent peer readers; the event loop is the
+	// single consumer.
+	MailboxSize int
+	// DialTimeout bounds outbound connection attempts (default 3s).
+	DialTimeout time.Duration
+}
+
+// event is one unit of work for the event loop.
+type event struct {
+	fn func()
+}
+
+// Node is a live TCP runtime.
+type Node struct {
+	cfg    Config
+	ln     net.Listener
+	start  time.Time
+	rng    *rand.Rand
+	events chan event
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	addrBook  map[proto.NodeID]string
+	conns     map[proto.NodeID]*peer
+	inbound   map[net.Conn]struct{}
+	timers    map[proto.TimerID]*time.Timer
+	nextTimer proto.TimerID
+	closed    bool
+}
+
+// peer is an outbound framed connection with a writer goroutine.
+type peer struct {
+	conn net.Conn
+	out  chan []byte
+}
+
+// Listen starts the node: listener, accept loop, and event loop.
+func Listen(cfg Config) (*Node, error) {
+	if cfg.Codec == nil || cfg.Handler == nil {
+		return nil, errors.New("transport: Codec and Handler are required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.MailboxSize <= 0 {
+		cfg.MailboxSize = 1024
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		ln:       ln,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908)),
+		events:   make(chan event, cfg.MailboxSize),
+		done:     make(chan struct{}),
+		addrBook: make(map[proto.NodeID]string, len(cfg.AddrBook)),
+		conns:    make(map[proto.NodeID]*peer),
+		inbound:  make(map[net.Conn]struct{}),
+		timers:   make(map[proto.TimerID]*time.Timer),
+	}
+	for id, addr := range cfg.AddrBook {
+		n.addrBook[id] = addr
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+	n.post(func() { cfg.Handler.Init((*nodeCtx)(n)) })
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	for _, t := range n.timers {
+		t.Stop()
+	}
+	conns := n.conns
+	n.conns = map[proto.NodeID]*peer{}
+	inbound := n.inbound
+	n.inbound = map[net.Conn]struct{}{}
+	n.mu.Unlock()
+
+	_ = n.ln.Close()
+	for _, p := range conns {
+		_ = p.conn.Close() // unblocks a writer mid-Write; done stops the loop
+	}
+	for c := range inbound {
+		_ = c.Close() // unblocks readLoop goroutines
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// post enqueues work for the event loop; drops when shutting down.
+func (n *Node) post(fn func()) {
+	select {
+	case n.events <- event{fn: fn}:
+	case <-n.done:
+	}
+}
+
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case ev := <-n.events:
+			ev.fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			n.cfg.Logger.Warn("accept failed", "err", err)
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one inbound connection. The first frame
+// is the handshake (sender's NodeID); the rest are protocol messages.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+
+	hello, err := wire.ReadFrame(conn)
+	if err != nil || len(hello) != 4 {
+		return
+	}
+	r := wire.NewReader(hello)
+	from := r.NodeID()
+	if r.Err() != nil {
+		return
+	}
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF {
+				select {
+				case <-n.done:
+				default:
+					n.cfg.Logger.Debug("read failed", "from", from, "err", err)
+				}
+			}
+			return
+		}
+		msg, err := n.cfg.Codec.Unmarshal(frame)
+		if err != nil {
+			n.cfg.Logger.Warn("bad frame", "from", from, "err", err)
+			continue
+		}
+		n.post(func() { n.cfg.Handler.HandleMessage((*nodeCtx)(n), from, msg) })
+	}
+}
+
+// SetAddr registers or updates a peer address (late binding for peer
+// discovery). Existing connections are unaffected.
+func (n *Node) SetAddr(id proto.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrBook[id] = addr
+}
+
+// peerFor returns (dialing if necessary) the outbound connection.
+func (n *Node) peerFor(to proto.NodeID) (*peer, error) {
+	n.mu.Lock()
+	if p, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return p, nil
+	}
+	addr, ok := n.addrBook[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %d", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d at %s: %w", to, addr, err)
+	}
+	p := &peer{conn: conn, out: make(chan []byte, 256)}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = conn.Close()
+		return nil, errors.New("transport: node closed")
+	}
+	if existing, ok := n.conns[to]; ok {
+		// Lost the race; use the winner.
+		n.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	n.conns[to] = p
+	n.mu.Unlock()
+
+	// Handshake frame: our NodeID.
+	w := wire.NewWriter(4)
+	w.NodeID(n.cfg.Self)
+	hello := w.Bytes()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() { _ = conn.Close() }()
+		if err := wire.WriteFrame(conn, hello); err != nil {
+			return
+		}
+		// p.out is never closed; shutdown is signalled via n.done (and
+		// the connection close above unblocks a writer mid-frame).
+		for {
+			select {
+			case frame := <-p.out:
+				if err := wire.WriteFrame(conn, frame); err != nil {
+					return
+				}
+			case <-n.done:
+				return
+			}
+		}
+	}()
+	return p, nil
+}
+
+// nodeCtx adapts Node to proto.Context; all methods run on the event
+// loop goroutine.
+type nodeCtx Node
+
+var _ proto.Context = (*nodeCtx)(nil)
+
+func (c *nodeCtx) Self() proto.NodeID { return c.cfg.Self }
+
+func (c *nodeCtx) Now() time.Duration { return time.Since(c.start) }
+
+func (c *nodeCtx) Rand() *rand.Rand { return c.rng }
+
+func (c *nodeCtx) Neighbors() []proto.NodeID { return c.cfg.Neighbors }
+
+func (c *nodeCtx) Send(to proto.NodeID, msg proto.Message) {
+	n := (*Node)(c)
+	enc, ok := msg.(wire.Encodable)
+	if !ok {
+		n.cfg.Logger.Error("message not encodable", "type", fmt.Sprintf("%T", msg))
+		return
+	}
+	frame, err := n.cfg.Codec.Marshal(enc)
+	if err != nil {
+		n.cfg.Logger.Error("marshal failed", "err", err)
+		return
+	}
+	p, err := n.peerFor(to)
+	if err != nil {
+		n.cfg.Logger.Warn("send failed", "to", to, "err", err)
+		return
+	}
+	select {
+	case p.out <- frame:
+	default:
+		n.cfg.Logger.Warn("send queue full; dropping", "to", to)
+	}
+}
+
+func (c *nodeCtx) SetTimer(delay time.Duration, payload any) proto.TimerID {
+	n := (*Node)(c)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0
+	}
+	n.nextTimer++
+	id := n.nextTimer
+	n.timers[id] = time.AfterFunc(delay, func() {
+		n.mu.Lock()
+		_, live := n.timers[id]
+		delete(n.timers, id)
+		n.mu.Unlock()
+		if !live {
+			return
+		}
+		n.post(func() { n.cfg.Handler.HandleTimer((*nodeCtx)(n), payload) })
+	})
+	return id
+}
+
+func (c *nodeCtx) CancelTimer(id proto.TimerID) {
+	n := (*Node)(c)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+		delete(n.timers, id)
+	}
+}
+
+func (c *nodeCtx) DeliverLocal(id proto.MsgID, payload []byte) {
+	n := (*Node)(c)
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(id, payload)
+	}
+}
+
+// Inject runs fn on the event loop with the node's Context — the hook
+// applications use to call Broadcast or other handler entry points
+// without racing the loop.
+func (n *Node) Inject(fn func(ctx proto.Context)) {
+	n.post(func() { fn((*nodeCtx)(n)) })
+}

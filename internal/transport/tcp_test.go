@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flood"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// collector wraps a flood protocol and records deliveries thread-safely.
+type collector struct {
+	mu        sync.Mutex
+	delivered map[string]int
+}
+
+func (c *collector) add(payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.delivered == nil {
+		c.delivered = make(map[string]int)
+	}
+	c.delivered[string(payload)]++
+}
+
+func (c *collector) count(payload []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered[string(payload)]
+}
+
+// newCluster starts n TCP nodes on localhost in a ring overlay running
+// plain flood. It returns the nodes and per-node delivery collectors.
+func newCluster(t *testing.T, n int) ([]*Node, []*collector) {
+	t.Helper()
+	codec := wire.NewCodec()
+	flood.RegisterMessages(codec)
+
+	nodes := make([]*Node, n)
+	collectors := make([]*collector, n)
+	addrs := make(map[proto.NodeID]string, n)
+
+	// Start listeners first so the address book is complete.
+	for i := 0; i < n; i++ {
+		collectors[i] = &collector{}
+		i := i
+		node, err := Listen(Config{
+			Self:    proto.NodeID(i),
+			Listen:  "127.0.0.1:0",
+			Codec:   codec,
+			Handler: flood.New(),
+			Seed:    uint64(i + 1),
+			OnDeliver: func(_ proto.MsgID, payload []byte) {
+				collectors[i].add(payload)
+			},
+			AddrBook: addrs, // shared map, filled below before any Send
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { _ = node.Close() })
+	}
+	for i, node := range nodes {
+		addrs[proto.NodeID(i)] = node.Addr()
+	}
+	// Late-bind addresses (ports were OS-assigned) and the ring overlay.
+	for i := range nodes {
+		for id, addr := range addrs {
+			nodes[i].SetAddr(id, addr)
+		}
+		prev := proto.NodeID((i + n - 1) % n)
+		next := proto.NodeID((i + 1) % n)
+		nodes[i].cfg.Neighbors = []proto.NodeID{prev, next}
+	}
+	return nodes, collectors
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met before timeout")
+}
+
+func TestTCPFloodAcrossRealSockets(t *testing.T) {
+	const n = 8
+	nodes, collectors := newCluster(t, n)
+
+	payload := []byte("tcp-broadcast")
+	nodes[0].Inject(func(ctx proto.Context) {
+		b, ok := nodes[0].cfg.Handler.(proto.Broadcaster)
+		if !ok {
+			t.Error("handler not a broadcaster")
+			return
+		}
+		if _, err := b.Broadcast(ctx, payload); err != nil {
+			t.Errorf("Broadcast: %v", err)
+		}
+	})
+
+	waitFor(t, 5*time.Second, func() bool {
+		for i := 0; i < n; i++ {
+			if collectors[i].count(payload) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestTCPTimers(t *testing.T) {
+	codec := wire.NewCodec()
+	flood.RegisterMessages(codec)
+	h := &timerHandler{fired: make(chan string, 4)}
+	node, err := Listen(Config{
+		Self:    1,
+		Listen:  "127.0.0.1:0",
+		Codec:   codec,
+		Handler: h,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+
+	select {
+	case got := <-h.fired:
+		if got != "ping" {
+			t.Errorf("timer payload = %q", got)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	// The canceled timer must not fire.
+	select {
+	case got := <-h.fired:
+		t.Errorf("unexpected timer %q", got)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// timerHandler sets one timer and cancels another in Init.
+type timerHandler struct {
+	fired chan string
+}
+
+func (h *timerHandler) Init(ctx proto.Context) {
+	ctx.SetTimer(50*time.Millisecond, "ping")
+	id := ctx.SetTimer(100*time.Millisecond, "canceled")
+	ctx.CancelTimer(id)
+}
+func (h *timerHandler) HandleMessage(proto.Context, proto.NodeID, proto.Message) {}
+func (h *timerHandler) HandleTimer(_ proto.Context, payload any) {
+	if s, ok := payload.(string); ok {
+		h.fired <- s
+	}
+}
+
+func TestCloseIsIdempotentAndStopsGoroutines(t *testing.T) {
+	nodes, _ := newCluster(t, 3)
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := n.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+	}
+}
+
+func TestSendToUnknownPeerLogsAndContinues(t *testing.T) {
+	codec := wire.NewCodec()
+	flood.RegisterMessages(codec)
+	node, err := Listen(Config{
+		Self:    1,
+		Listen:  "127.0.0.1:0",
+		Codec:   codec,
+		Handler: flood.New(),
+		Seed:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+	done := make(chan struct{})
+	node.Inject(func(ctx proto.Context) {
+		ctx.Send(99, &flood.DataMsg{ID: proto.NewMsgID([]byte("y"))})
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("event loop stuck after failed send")
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen(Config{Listen: "127.0.0.1:0"}); err == nil {
+		t.Error("missing codec/handler accepted")
+	}
+	codec := wire.NewCodec()
+	if _, err := Listen(Config{Listen: "256.0.0.1:99999", Codec: codec, Handler: flood.New()}); err == nil {
+		t.Error("bogus address accepted")
+	}
+}
+
+func TestManyConcurrentBroadcasts(t *testing.T) {
+	const n = 6
+	nodes, collectors := newCluster(t, n)
+	payloads := make([][]byte, 10)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("msg-%d", i))
+		src := nodes[i%n]
+		p := payloads[i]
+		src.Inject(func(ctx proto.Context) {
+			b := src.cfg.Handler.(proto.Broadcaster)
+			if _, err := b.Broadcast(ctx, p); err != nil {
+				t.Errorf("Broadcast: %v", err)
+			}
+		})
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		for i := 0; i < n; i++ {
+			for _, p := range payloads {
+				if collectors[i].count(p) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

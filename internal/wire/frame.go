@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameLen bounds a single frame on a TCP link.
+const MaxFrameLen = 32 << 20
+
+// WriteFrame writes a 4-byte big-endian length prefix followed by b.
+func WriteFrame(w io.Writer, b []byte) error {
+	if len(b) > MaxFrameLen {
+		return fmt.Errorf("%w: frame of %d bytes", ErrOverflow, len(b))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame. It returns io.EOF unwrapped if
+// the stream ends cleanly at a frame boundary.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrOverflow, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return b, nil
+}

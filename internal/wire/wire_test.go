@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.U8(7)
+	w.U16(65534)
+	w.U32(1 << 30)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Uvarint(300)
+	w.Bool(true)
+	w.Bool(false)
+	w.NodeID(proto.NodeID(12345))
+	w.NodeID(proto.NoNode)
+	id := proto.NewMsgID([]byte("hello"))
+	w.MsgID(id)
+	w.ByteString([]byte{1, 2, 3})
+	w.ByteString(nil)
+	w.String("grüße")
+	w.Float64(math.Pi)
+	var b32 [32]byte
+	b32[0], b32[31] = 0xaa, 0x55
+	w.Bytes32(b32)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d, want 7", got)
+	}
+	if got := r.U16(); got != 65534 {
+		t.Errorf("U16 = %d, want 65534", got)
+	}
+	if got := r.U32(); got != 1<<30 {
+		t.Errorf("U32 = %d, want %d", got, 1<<30)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d, want %d", got, uint64(1)<<60)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d, want -42", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d, want 300", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.NodeID(); got != 12345 {
+		t.Errorf("NodeID = %d, want 12345", got)
+	}
+	if got := r.NodeID(); got != proto.NoNode {
+		t.Errorf("NodeID = %d, want NoNode", got)
+	}
+	if got := r.MsgID(); got != id {
+		t.Errorf("MsgID = %v, want %v", got, id)
+	}
+	if got := r.ByteString(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("ByteString = %v", got)
+	}
+	if got := r.ByteString(); len(got) != 0 {
+		t.Errorf("empty ByteString = %v", got)
+	}
+	if got := r.String(); got != "grüße" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Bytes32(); got != b32 {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+	if r.Err() != nil {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderShortBufferSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32() // too short
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Every subsequent read must keep failing and return zero values.
+	if got := r.U8(); got != 0 {
+		t.Errorf("U8 after error = %d, want 0", got)
+	}
+	if got := r.ByteString(); got != nil {
+		t.Errorf("ByteString after error = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("sticky error lost: %v", r.Err())
+	}
+}
+
+func TestReaderByteStringOverflow(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(MaxByteStringLen + 1)
+	r := NewReader(w.Bytes())
+	if got := r.ByteString(); got != nil {
+		t.Errorf("ByteString = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Errorf("Err = %v, want ErrOverflow", r.Err())
+	}
+}
+
+func TestByteStringCopies(t *testing.T) {
+	w := NewWriter(0)
+	w.ByteString([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.ByteString()
+	buf[1] = 0 // clobber the underlying buffer
+	if !bytes.Equal(got, []byte{9, 9, 9}) {
+		t.Errorf("ByteString shares storage with input: %v", got)
+	}
+}
+
+// testMsg is a minimal Encodable for codec tests.
+type testMsg struct {
+	A uint32
+	B []byte
+}
+
+const testMsgType = proto.MsgType(0x7f01)
+
+func (*testMsg) Type() proto.MsgType { return testMsgType }
+func (m *testMsg) EncodeTo(w *Writer) {
+	w.U32(m.A)
+	w.ByteString(m.B)
+}
+func (m *testMsg) DecodeFrom(r *Reader) error {
+	m.A = r.U32()
+	m.B = r.ByteString()
+	return r.Err()
+}
+
+func newTestCodec() *Codec {
+	c := NewCodec()
+	c.Register(testMsgType, func() Encodable { return new(testMsg) })
+	return c
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := newTestCodec()
+	in := &testMsg{A: 77, B: []byte("payload")}
+	b, err := c.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if got := c.Size(in); got != len(b) {
+		t.Errorf("Size = %d, want %d", got, len(b))
+	}
+	out, err := c.Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	m, ok := out.(*testMsg)
+	if !ok {
+		t.Fatalf("Unmarshal returned %T", out)
+	}
+	if m.A != in.A || !bytes.Equal(m.B, in.B) {
+		t.Errorf("round trip mismatch: %+v != %+v", m, in)
+	}
+}
+
+func TestCodecUnknownType(t *testing.T) {
+	c := newTestCodec()
+	if _, err := c.Unmarshal([]byte{0xff, 0xff}); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("Unmarshal unknown = %v, want ErrUnknownType", err)
+	}
+	type otherMsg struct{ testMsg }
+	_ = otherMsg{}
+	if _, err := c.Marshal(&unregisteredMsg{}); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("Marshal unregistered = %v, want ErrUnknownType", err)
+	}
+}
+
+type unregisteredMsg struct{}
+
+func (*unregisteredMsg) Type() proto.MsgType      { return 0x7fff }
+func (*unregisteredMsg) EncodeTo(*Writer)         {}
+func (*unregisteredMsg) DecodeFrom(*Reader) error { return nil }
+
+func TestCodecTrailingBytes(t *testing.T) {
+	c := newTestCodec()
+	b, err := c.Marshal(&testMsg{A: 1})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if _, err := c.Unmarshal(append(b, 0x00)); err == nil {
+		t.Error("Unmarshal accepted trailing bytes")
+	}
+}
+
+func TestCodecDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	c := newTestCodec()
+	c.Register(testMsgType, func() Encodable { return new(testMsg) })
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := [][]byte{[]byte("one"), {}, []byte("three")}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("ReadFrame at end = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("ReadFrame accepted truncated frame")
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&hdr); !errors.Is(err, ErrOverflow) {
+		t.Errorf("ReadFrame oversized = %v, want ErrOverflow", err)
+	}
+}
+
+func TestUvarintQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(0)
+		w.Uvarint(v)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == v && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteStringQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		w := NewWriter(0)
+		w.ByteString(b)
+		r := NewReader(w.Bytes())
+		got := r.ByteString()
+		return bytes.Equal(got, b) && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
