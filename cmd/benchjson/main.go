@@ -1,0 +1,131 @@
+// Command benchjson runs the repository benchmark suite and records the
+// results in BENCH_runtime.json so the performance trajectory is tracked
+// across PRs (see DESIGN.md §4).
+//
+// The file keeps two sections: "baseline" — the numbers recorded when the
+// tracking started, preserved verbatim across runs — and "current", which
+// this tool rewrites. Regressions are judged by comparing the two.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-benchtime 1x] [-out BENCH_runtime.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result. Extra b.ReportMetric values (experiment
+// headline numbers) land in Metrics.
+type Bench struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_runtime.json schema.
+type Report struct {
+	GoVersion string           `json:"go_version"`
+	Benchtime string           `json:"benchtime"`
+	Baseline  map[string]Bench `json:"baseline,omitempty"`
+	Current   map[string]Bench `json:"current"`
+}
+
+// benchPackages lists the suites tracked in BENCH_runtime.json: the
+// top-level experiment benchmarks (E1–E13, A1–A2) plus the runtime,
+// topology, crypto and DC-net micro-benchmarks.
+var benchPackages = []string{".", "./internal/sim", "./internal/topology", "./internal/crypto", "./internal/dcnet"}
+
+func main() {
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	out := flag.String("out", "BENCH_runtime.json", "output file")
+	flag.Parse()
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		Benchtime: *benchtime,
+		Current:   map[string]Bench{},
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old Report
+		if json.Unmarshal(prev, &old) == nil {
+			report.Baseline = old.Baseline
+		}
+	}
+
+	for _, pkg := range benchPackages {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem",
+			"-benchtime", *benchtime, pkg)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		fmt.Print(string(outBytes))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		for name, b := range parseBenchOutput(string(outBytes)) {
+			report.Current[name] = b
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(report.Current), *out)
+}
+
+// parseBenchOutput extracts Benchmark lines from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkNetworkFlood  602  1956941 ns/op  12 extra-metric  1523985 B/op  3059 allocs/op
+func parseBenchOutput(s string) map[string]Bench {
+	results := map[string]Bench{}
+	for _, line := range strings.Split(s, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 { // strip -GOMAXPROCS
+			name = name[:i]
+		}
+		b := Bench{}
+		for i := 3; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			case "MB/s":
+				// throughput is derivable from ns/op; skip
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		results[name] = b
+	}
+	return results
+}

@@ -26,9 +26,10 @@ func run() int {
 	quick := flag.Bool("quick", false, "fewer trials (CI mode); published numbers use full mode")
 	md := flag.Bool("md", false, "render GitHub Markdown")
 	csv := flag.Bool("csv", false, "render CSV")
+	exps := experiments.All()
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] <experiment|all|list>\n\nexperiments:\n")
-		for _, e := range experiments.All() {
+		for _, e := range exps {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
 		}
 	}
@@ -51,11 +52,11 @@ func run() int {
 
 	switch arg := flag.Arg(0); arg {
 	case "list":
-		for _, e := range experiments.All() {
+		for _, e := range exps {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 	case "all":
-		for _, e := range experiments.All() {
+		for _, e := range exps {
 			start := time.Now()
 			fmt.Fprintf(os.Stderr, "running %s: %s…\n", e.ID, e.Title)
 			render(e.Run(*quick))

@@ -294,7 +294,7 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 			"stem":  net.MessagesOfType(dandelion.TypeStem),
 		},
 	}
-	for _, at := range net.DeliveryTimes(id) {
+	for _, at := range net.Deliveries(id).All() {
 		if at > res.TimeToCoverage {
 			res.TimeToCoverage = at
 		}
@@ -434,7 +434,7 @@ func SimulateWithDeliveryTimes(cfg SimConfig) (map[int32]time.Duration, error) {
 	runUntilSettled(net, id, cfg.N, cfg.MaxDuration)
 
 	out := make(map[int32]time.Duration, cfg.N)
-	for nodeID, at := range net.DeliveryTimes(id) {
+	for nodeID, at := range net.Deliveries(id).All() {
 		out[int32(nodeID)] = at
 	}
 	return out, nil

@@ -50,12 +50,12 @@ func TestLineBallInvariant(t *testing.T) {
 	}
 	net.Run(0)
 
-	times := net.DeliveryTimes(id)
-	if len(times) != 2*d+1 {
-		t.Fatalf("infected %d nodes, want %d", len(times), 2*d+1)
+	times := net.Deliveries(id)
+	if times.Count() != 2*d+1 {
+		t.Fatalf("infected %d nodes, want %d", times.Count(), 2*d+1)
 	}
 	lo, hi := proto.NodeID(n), proto.NodeID(-1)
-	for v := range times {
+	for v := range times.All() {
 		if v < lo {
 			lo = v
 		}
@@ -63,8 +63,8 @@ func TestLineBallInvariant(t *testing.T) {
 			hi = v
 		}
 	}
-	if int(hi-lo)+1 != len(times) {
-		t.Errorf("infected set not contiguous: [%d,%d] with %d nodes", lo, hi, len(times))
+	if int(hi-lo)+1 != times.Count() {
+		t.Errorf("infected set not contiguous: [%d,%d] with %d nodes", lo, hi, times.Count())
 	}
 	center := tap.lastHolder
 	if center == proto.NoNode {
@@ -98,8 +98,8 @@ func TestTreeBallInvariant(t *testing.T) {
 		t.Fatal("no token pass observed")
 	}
 	dist := g.BFS(center)
-	times := net.DeliveryTimes(id)
-	for v := range times {
+	times := net.Deliveries(id)
+	for v := range times.All() {
 		if dist[v] > d {
 			t.Errorf("node %d infected at distance %d > %d from centre %d", v, dist[v], d, center)
 		}
@@ -110,7 +110,7 @@ func TestTreeBallInvariant(t *testing.T) {
 	missing := 0
 	for v := 0; v < g.N(); v++ {
 		if dist[v] <= d {
-			if _, ok := times[proto.NodeID(v)]; !ok {
+			if _, ok := times.Time(proto.NodeID(v)); !ok {
 				missing++
 			}
 		}

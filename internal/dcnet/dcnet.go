@@ -208,11 +208,46 @@ type Member struct {
 	blameRound     uint32 // nonzero while a blame phase is active
 	blamed         map[proto.NodeID]bool
 
+	// scratch recycles slot-sized buffers (accumulators, recovered
+	// values) across rounds. Buffers that travel inside messages —
+	// shares and partials — are never pooled: in simulation the receiver
+	// holds them by reference until its own round gc.
+	scratch bufPool
+
 	// Stats, exposed for experiments.
 	RoundsCompleted int
 	Collisions      int
 	Delivered       int
 	BlamePhases     int
+}
+
+// bufPool is a small free list of byte buffers keyed by capacity.
+type bufPool struct{ bufs [][]byte }
+
+// get returns a zeroed buffer of length n, reusing a pooled one when its
+// capacity suffices.
+func (p *bufPool) get(n int) []byte {
+	for i := len(p.bufs) - 1; i >= 0; i-- {
+		if cap(p.bufs[i]) >= n {
+			b := p.bufs[i][:n]
+			last := len(p.bufs) - 1
+			p.bufs[i] = p.bufs[last]
+			p.bufs[last] = nil
+			p.bufs = p.bufs[:last]
+			clear(b)
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// put recycles buffers; nil entries are ignored.
+func (p *bufPool) put(bufs ...[]byte) {
+	for _, b := range bufs {
+		if cap(b) > 0 {
+			p.bufs = append(p.bufs, b)
+		}
+	}
 }
 
 // NewMember validates the configuration and returns a Member.
@@ -401,7 +436,7 @@ func (m *Member) startRound(ctx proto.Context, n uint32) {
 	m.current = n
 
 	// Decide contribution.
-	contrib := make([]byte, rs.slot)
+	contrib := m.scratch.get(rs.slot)
 	switch {
 	case m.cfg.Disrupt:
 		// Attacker: random garbage every round (liveness attack, §V-C).
@@ -411,12 +446,8 @@ func (m *Member) startRound(ctx proto.Context, n uint32) {
 		if len(m.queue) > 0 {
 			if m.backoff > 0 {
 				m.backoff--
-			} else {
-				slot, err := packSlot(m.queue[0], rs.slot)
-				if err == nil {
-					contrib = slot
-					rs.sent = true
-				}
+			} else if packSlotInto(contrib, m.queue[0]) == nil {
+				rs.sent = true
 			}
 		}
 	case rs.kind.announce:
@@ -438,26 +469,29 @@ func (m *Member) startRound(ctx proto.Context, n uint32) {
 	}
 	rs.myContrib = contrib
 
-	// Split the contribution into len(peers) shares XOR-ing to it.
+	// Split the contribution into len(peers) shares XOR-ing to it. The
+	// shares travel inside ShareMsgs, so they are carved out of one slab
+	// allocation rather than pooled; the last share accumulates the
+	// others in place, so no separate scratch accumulator is needed.
 	rs.myShares = make([][]byte, len(m.peers))
-	acc := make([]byte, rs.slot)
+	slab := make([]byte, len(m.peers)*rs.slot)
+	last := slab[(len(m.peers)-1)*rs.slot:]
 	for i := 0; i < len(m.peers)-1; i++ {
-		sh := make([]byte, rs.slot)
+		sh := slab[i*rs.slot : (i+1)*rs.slot]
 		fillRandom(ctx, sh)
 		rs.myShares[i] = sh
-		crypto.XORBytes(acc, sh)
+		crypto.XORBytes(last, sh)
 	}
-	last := make([]byte, rs.slot)
-	copy(last, contrib)
-	crypto.XORBytes(last, acc)
+	crypto.XORBytes(last, contrib)
 	rs.myShares[len(m.peers)-1] = last
 
 	// Blame mode: commit to the shares before sending them.
 	if m.cfg.Policy == PolicyBlame {
 		rs.mySalts = make([][]byte, len(m.peers))
+		saltSlab := make([]byte, len(m.peers)*crypto.SaltSize)
 		digests := make([][32]byte, len(m.peers))
 		for i := range m.peers {
-			salt := make([]byte, crypto.SaltSize)
+			salt := saltSlab[i*crypto.SaltSize : (i+1)*crypto.SaltSize]
 			fillRandom(ctx, salt)
 			rs.mySalts[i] = salt
 			digests[i] = crypto.Commit(rs.myShares[i], salt)
@@ -556,13 +590,16 @@ func (m *Member) tryAdvance(ctx proto.Context, rs *roundState) {
 	}
 	n := len(m.peers)
 	// Step 4: S = ⊕ sᵢ once all shares are in; step 5: send S ⊕ sᵢ.
+	// The per-peer partials travel inside messages, so they come from one
+	// slab; the accumulator is pooled scratch recycled at round gc.
 	if !rs.sSent && len(rs.gotShares) == n && m.sizesOK(rs, rs.gotShares) {
-		rs.s = make([]byte, rs.slot)
+		rs.s = m.scratch.get(rs.slot)
 		for _, sh := range rs.gotShares {
 			crypto.XORBytes(rs.s, sh)
 		}
-		for _, p := range m.peers {
-			out := make([]byte, rs.slot)
+		outs := make([]byte, n*rs.slot)
+		for i, p := range m.peers {
+			out := outs[i*rs.slot : (i+1)*rs.slot]
 			copy(out, rs.s)
 			crypto.XORBytes(out, rs.gotShares[p])
 			ctx.Send(p, &SPartialMsg{Round: rs.number, Data: out})
@@ -571,12 +608,13 @@ func (m *Member) tryAdvance(ctx proto.Context, rs *roundState) {
 	}
 	// Step 7: T = ⊕ tᵢ; step 8: send T ⊕ tᵢ.
 	if rs.sSent && !rs.tSent && len(rs.gotSPart) == n && m.sizesOK(rs, rs.gotSPart) {
-		rs.t = make([]byte, rs.slot)
+		rs.t = m.scratch.get(rs.slot)
 		for _, sp := range rs.gotSPart {
 			crypto.XORBytes(rs.t, sp)
 		}
-		for _, p := range m.peers {
-			out := make([]byte, rs.slot)
+		outs := make([]byte, n*rs.slot)
+		for i, p := range m.peers {
+			out := outs[i*rs.slot : (i+1)*rs.slot]
 			copy(out, rs.t)
 			crypto.XORBytes(out, rs.gotSPart[p])
 			ctx.Send(p, &TPartialMsg{Round: rs.number, Data: out})
@@ -589,10 +627,11 @@ func (m *Member) tryAdvance(ctx proto.Context, rs *roundState) {
 		if rs.hasTimeout {
 			ctx.CancelTimer(rs.timeoutID)
 		}
-		recovered := make([]byte, rs.slot)
+		recovered := m.scratch.get(rs.slot)
 		copy(recovered, rs.t)
 		crypto.XORBytes(recovered, rs.s)
 		m.finishRound(ctx, rs, recovered)
+		m.scratch.put(recovered)
 	}
 }
 
@@ -769,6 +808,9 @@ func (m *Member) gc(completed uint32) {
 	cutoff := completed - horizon
 	for n, rs := range m.rounds {
 		if n < cutoff && rs.complete && (m.blameRound == 0 || n != m.blameRound) {
+			// Recycle the buffers only this member ever referenced; the
+			// shares/partials it sent live on in peers' round state.
+			m.scratch.put(rs.s, rs.t, rs.myContrib)
 			delete(m.rounds, n)
 		}
 	}

@@ -27,17 +27,26 @@ var ErrPayloadTooLarge = errors.New("dcnet: payload exceeds slot capacity")
 
 var slotTable = crc32.MakeTable(crc32.Castagnoli)
 
-// packSlot frames payload into a fixed slot:
+// packSlotInto frames payload into buf, a fixed slot:
 // [u32 length][payload][zero pad][u32 CRC over everything before it].
-func packSlot(payload []byte, slotSize int) ([]byte, error) {
-	if len(payload) > slotSize-SlotOverhead {
-		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), slotSize-SlotOverhead)
+func packSlotInto(buf, payload []byte) error {
+	if len(payload) > len(buf)-SlotOverhead {
+		return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), len(buf)-SlotOverhead)
 	}
-	buf := make([]byte, slotSize)
 	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
 	copy(buf[slotHeaderSize:], payload)
-	crc := crc32.Checksum(buf[:slotSize-slotTrailerSize], slotTable)
-	binary.LittleEndian.PutUint32(buf[slotSize-slotTrailerSize:], crc)
+	clear(buf[slotHeaderSize+len(payload) : len(buf)-slotTrailerSize])
+	crc := crc32.Checksum(buf[:len(buf)-slotTrailerSize], slotTable)
+	binary.LittleEndian.PutUint32(buf[len(buf)-slotTrailerSize:], crc)
+	return nil
+}
+
+// packSlot allocates and frames a fixed slot (see packSlotInto).
+func packSlot(payload []byte, slotSize int) ([]byte, error) {
+	buf := make([]byte, slotSize)
+	if err := packSlotInto(buf, payload); err != nil {
+		return nil, err
+	}
 	return buf, nil
 }
 

@@ -92,10 +92,10 @@ func E12PhaseTrace(quick bool) *metrics.Table {
 	for step := 0; step < 600 && net.Delivered(id) < n; step++ {
 		net.RunUntil(net.Now() + 100*time.Millisecond)
 	}
-	times := net.DeliveryTimes(id)
+	times := net.Deliveries(id)
 	coverageBy := func(at time.Duration) int {
 		c := 0
-		for _, dt := range times {
+		for _, dt := range times.All() {
 			if dt <= at {
 				c++
 			}

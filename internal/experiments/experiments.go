@@ -25,33 +25,35 @@ type Experiment struct {
 	Run   func(quick bool) *metrics.Table
 }
 
-// All returns the experiments in index order.
-func All() []Experiment {
-	return []Experiment{
-		{"e1", "§V-A message counts: adaptive diffusion vs flood-and-prune (N=1000)", E1Messages},
-		{"e2", "§V-A Phase-1 message complexity O(k²)", E2DCNetComplexity},
-		{"e3", "Fig. 1 privacy–performance landscape", E3Landscape},
-		{"e4", "Fig. 2 / [12]: deanonymizing plain flooding", E4FloodDeanonymization},
-		{"e5", "§III-B: Dandelion decay vs flexnet k-anonymity floor", E5DandelionVsFlexnet},
-		{"e6", "§V-B [17]: adaptive diffusion perfect obfuscation", E6Obfuscation},
-		{"e7", "§V-A: announcement-round optimization", E7AnnounceOptimization},
-		{"e8", "§IV-C: overlapping groups and origin probabilities", E8OverlapGroups},
-		{"e9", "§III-A: delivery guarantees", E9Delivery},
-		{"e10", "§II: broadcast latency and miner fairness", E10MinerFairness},
-		{"e11", "§V-C: blame protocol vs dissolve policy", E11Blame},
-		{"e12", "Fig. 5: three-phase trace", E12PhaseTrace},
-		{"e13", "§III-B: Dissent announcement startup scaling", E13DissentStartup},
-		{"a1", "ablation: derived α(ρ,h) vs naive pass probabilities", A1AlphaAblation},
-		{"a2", "parameter advisor: (k,d) for a target privacy/latency budget", A2ParameterAdvisor},
-	}
+// all is the experiment index, built once at package init.
+var all = [...]Experiment{
+	{"e1", "§V-A message counts: adaptive diffusion vs flood-and-prune (N=1000)", E1Messages},
+	{"e2", "§V-A Phase-1 message complexity O(k²)", E2DCNetComplexity},
+	{"e3", "Fig. 1 privacy–performance landscape", E3Landscape},
+	{"e4", "Fig. 2 / [12]: deanonymizing plain flooding", E4FloodDeanonymization},
+	{"e5", "§III-B: Dandelion decay vs flexnet k-anonymity floor", E5DandelionVsFlexnet},
+	{"e6", "§V-B [17]: adaptive diffusion perfect obfuscation", E6Obfuscation},
+	{"e7", "§V-A: announcement-round optimization", E7AnnounceOptimization},
+	{"e8", "§IV-C: overlapping groups and origin probabilities", E8OverlapGroups},
+	{"e9", "§III-A: delivery guarantees", E9Delivery},
+	{"e10", "§II: broadcast latency and miner fairness", E10MinerFairness},
+	{"e11", "§V-C: blame protocol vs dissolve policy", E11Blame},
+	{"e12", "Fig. 5: three-phase trace", E12PhaseTrace},
+	{"e13", "§III-B: Dissent announcement startup scaling", E13DissentStartup},
+	{"a1", "ablation: derived α(ρ,h) vs naive pass probabilities", A1AlphaAblation},
+	{"a2", "parameter advisor: (k,d) for a target privacy/latency budget", A2ParameterAdvisor},
 }
 
-// Find returns the experiment with the given ID, or nil.
+// All returns the experiments in index order. The slice is shared; the
+// caller must not mutate it.
+func All() []Experiment { return all[:] }
+
+// Find returns the experiment with the given ID, or nil, without
+// rebuilding the index per lookup.
 func Find(id string) *Experiment {
-	for _, e := range All() {
-		if e.ID == id {
-			e := e
-			return &e
+	for i := range all {
+		if all[i].ID == id {
+			return &all[i]
 		}
 	}
 	return nil

@@ -19,6 +19,24 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	e.Run(0)
 }
 
+// BenchmarkEngineChurn1M measures steady-state schedule/run churn: 1024
+// self-rescheduling events processed one million at a time — the
+// allocation-free steady state a long simulation settles into, where the
+// arena recycles slots instead of growing.
+func BenchmarkEngineChurn1M(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(time.Millisecond, tick) }
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(1_000_000)
+	}
+}
+
 // BenchmarkNetworkFlood measures a full 1000-node broadcast through the
 // runtime (the E1 inner loop).
 func BenchmarkNetworkFlood(b *testing.B) {

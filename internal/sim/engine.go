@@ -1,65 +1,101 @@
 // Package sim implements the deterministic discrete-event runtime the
-// experiments run on: an event engine (virtual clock + binary heap) and a
-// Network that hosts one proto.Handler per topology node, delivers
-// messages with a configurable latency model, counts messages and bytes
-// per type, and supports failure injection (drops, crashed nodes) and
-// observation taps for the adversary framework.
+// experiments run on: an event engine (virtual clock + index-based 4-ary
+// min-heap over a pooled event arena) and a Network that hosts one
+// proto.Handler per topology node, delivers messages with a configurable
+// latency model, counts messages and bytes per type, and supports failure
+// injection (drops, crashed nodes) and observation taps for the adversary
+// framework.
 //
 // Determinism contract: a Network built from the same topology, seed and
 // options replays the exact same event sequence. All randomness flows from
 // the seed; events at equal virtual times fire in schedule order.
+//
+// The engine is allocation-free in steady state: event records live in a
+// slot arena recycled through a free list, the heap orders int32 slot
+// indices (ordering keys are stored inline in the heap entries for cache
+// locality), and the hot paths — message delivery and node timers — are
+// typed event kinds rather than heap-allocated closures. Timer handles are
+// generation-counted so cancelling after the slot has been recycled is a
+// safe no-op.
 package sim
 
 import (
-	"container/heap"
 	"math"
 	"time"
+
+	"repro/internal/proto"
 )
 
-// event is a scheduled callback.
+// eventKind discriminates the payload of an arena slot.
+type eventKind uint8
+
+const (
+	// evFree marks a recycled slot sitting on the free list.
+	evFree eventKind = iota
+	// evFunc is a generic callback (Engine.Schedule).
+	evFunc
+	// evDeliver hands a message to a node's handler (Network.send).
+	evDeliver
+	// evTimer fires a node timer (Context.SetTimer).
+	evTimer
+)
+
+// event is one arena slot. Ordering keys (at, seq) live in the heap
+// entries, not here; the slot only carries the payload and the
+// cancellation/generation state.
 type event struct {
-	at       time.Duration
-	seq      uint64 // FIFO tie-break for equal times
-	fn       func()
+	gen      uint32 // bumped on release; stale Timer handles miss
+	kind     eventKind
 	canceled bool
-	index    int // heap index, -1 once popped
+
+	fn func() // evFunc
+
+	node    *simNode      // evDeliver, evTimer
+	src     proto.NodeID  // evDeliver
+	msg     proto.Message // evDeliver
+	timerID proto.TimerID // evTimer
+	payload any           // evTimer
 }
 
-type eventHeap []*event
+// heapEntry is one node of the 4-ary min-heap: the ordering key plus the
+// arena slot it refers to. Keeping the key inline means sift operations
+// never chase the arena.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	idx int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a heapEntry) before(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+
+// Arena geometry: events live in fixed-size blocks so growing the arena
+// never copies or re-zeroes existing slots (a flat slice re-copies ~4× its
+// final size under Go's 1.25× growth policy, which dominates profiles of
+// schedule-heavy runs). Blocks are kept small (~20 KiB) so that the many
+// short-lived networks the experiments build stay cheap.
+const (
+	arenaBlockBits = 8
+	arenaBlockSize = 1 << arenaBlockBits
+	arenaBlockMask = arenaBlockSize - 1
+)
+
+type arenaBlock [arenaBlockSize]event
 
 // Engine is a single-threaded discrete-event executor.
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	steps  uint64
+	now   time.Duration
+	seq   uint64
+	steps uint64
+
+	blocks []*arenaBlock
+	next   int32   // first never-used slot index
+	free   []int32 // recycled arena slots
+	heap   []heapEntry
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -72,28 +108,112 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of scheduled (possibly canceled) events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// Schedule runs fn after delay of virtual time. A negative delay is
-// treated as zero. The returned handle can cancel the event.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+// slot returns the arena cell for an index.
+func (e *Engine) slot(idx int32) *event {
+	return &e.blocks[idx>>arenaBlockBits][idx&arenaBlockMask]
+}
+
+// alloc takes a slot from the free list, growing the arena by one block
+// when empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	if int(e.next)>>arenaBlockBits == len(e.blocks) {
+		e.blocks = append(e.blocks, new(arenaBlock))
+	}
+	idx := e.next
+	e.next++
+	return idx
+}
+
+// release recycles a slot: references are dropped so the arena never
+// pins handler objects, and the generation is bumped so outstanding
+// Timer handles go stale.
+func (e *Engine) release(idx int32) {
+	ev := e.slot(idx)
+	ev.gen++
+	ev.kind = evFree
+	ev.canceled = false
+	ev.fn = nil
+	ev.node = nil
+	ev.msg = nil
+	ev.payload = nil
+	if len(e.free) == cap(e.free) {
+		grown := make([]int32, len(e.free), max(arenaBlockSize, 2*cap(e.free)))
+		copy(grown, e.free)
+		e.free = grown
+	}
+	e.free = append(e.free, idx)
+}
+
+// schedule allocates a slot for an event firing after delay (clamped to
+// ≥ 0) and pushes it on the heap. The caller fills the payload fields.
+func (e *Engine) schedule(delay time.Duration) int32 {
 	if delay < 0 {
 		delay = 0
 	}
+	idx := e.alloc()
 	e.seq++
-	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	e.heapPush(heapEntry{at: e.now + delay, seq: e.seq, idx: idx})
+	return idx
 }
 
-// Timer is a cancellable handle on a scheduled event.
-type Timer struct{ ev *event }
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero. The returned handle can cancel the event.
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
+	idx := e.schedule(delay)
+	ev := e.slot(idx)
+	ev.kind = evFunc
+	ev.fn = fn
+	return Timer{e: e, idx: idx, gen: ev.gen}
+}
 
-// Cancel prevents the event from firing. Safe to call multiple times and
-// after the event has fired.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+// scheduleDeliver enqueues a typed message-delivery event — the Network
+// hot path; no closure and no per-event heap allocation.
+func (e *Engine) scheduleDeliver(delay time.Duration, dst *simNode, src proto.NodeID, msg proto.Message) {
+	idx := e.schedule(delay)
+	ev := e.slot(idx)
+	ev.kind = evDeliver
+	ev.node = dst
+	ev.src = src
+	ev.msg = msg
+}
+
+// scheduleTimer enqueues a typed node-timer event (Context.SetTimer).
+func (e *Engine) scheduleTimer(delay time.Duration, node *simNode, id proto.TimerID, payload any) Timer {
+	idx := e.schedule(delay)
+	ev := e.slot(idx)
+	ev.kind = evTimer
+	ev.node = node
+	ev.timerID = id
+	ev.payload = payload
+	return Timer{e: e, idx: idx, gen: ev.gen}
+}
+
+// Timer is a cancellable handle on a scheduled event. The zero Timer is
+// inert. Handles are generation-counted: cancelling after the event has
+// fired — even if the arena slot has since been reused by a different
+// event — is a safe no-op.
+type Timer struct {
+	e   *Engine
+	idx int32
+	gen uint32
+}
+
+// Cancel prevents the event from firing. Safe to call multiple times,
+// after the event has fired, and on the zero Timer.
+func (t Timer) Cancel() {
+	if t.e == nil {
+		return
+	}
+	ev := t.e.slot(t.idx)
+	if ev.gen == t.gen && ev.kind != evFree {
+		ev.canceled = true
 	}
 }
 
@@ -117,17 +237,40 @@ func (e *Engine) RunUntil(deadline time.Duration) uint64 {
 
 func (e *Engine) runUntil(deadline time.Duration, maxEvents uint64) uint64 {
 	var executed uint64
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.at > deadline {
+	for len(e.heap) > 0 {
+		root := e.heap[0]
+		if root.at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
-		if next.canceled {
+		e.heapPopRoot()
+		ev := e.slot(root.idx)
+		if ev.canceled {
+			e.release(root.idx)
 			continue
 		}
-		e.now = next.at
-		next.fn()
+		e.now = root.at
+		// Copy the payload out and recycle the slot before dispatching:
+		// the callback may schedule new events that reuse it.
+		kind := ev.kind
+		switch kind {
+		case evFunc:
+			fn := ev.fn
+			e.release(root.idx)
+			fn()
+		case evDeliver:
+			node, src, msg := ev.node, ev.src, ev.msg
+			e.release(root.idx)
+			if !node.crashed {
+				node.handler.HandleMessage(node, src, msg)
+			}
+		case evTimer:
+			node, id, payload := ev.node, ev.timerID, ev.payload
+			e.release(root.idx)
+			node.onTimerFire(id, payload)
+		default:
+			e.release(root.idx)
+			continue
+		}
 		e.steps++
 		executed++
 		if maxEvents > 0 && executed >= maxEvents {
@@ -135,4 +278,64 @@ func (e *Engine) runUntil(deadline time.Duration, maxEvents uint64) uint64 {
 		}
 	}
 	return executed
+}
+
+// 4-ary min-heap over heapEntry. Flatter than a binary heap: half the
+// levels, so roughly half the cache misses per pop at simulation scale.
+
+func (e *Engine) heapPush(ent heapEntry) {
+	if len(e.heap) == cap(e.heap) {
+		// Double explicitly: Go's 1.25× growth policy for large slices
+		// would copy ~4× the final size over a long run.
+		grown := make([]heapEntry, len(e.heap), max(arenaBlockSize, 2*cap(e.heap)))
+		copy(grown, e.heap)
+		e.heap = grown
+	}
+	h := append(e.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPopRoot() {
+	h := e.heap
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return
+	}
+	// Percolate the hole at the root down, writing `last` once at the end
+	// instead of swapping at every level.
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for c++; c < end; c++ {
+			if h[c].before(h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(last) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = last
 }

@@ -64,8 +64,8 @@ func TestEngineCancel(t *testing.T) {
 	if ran {
 		t.Error("canceled event fired")
 	}
-	var nilTimer *Timer
-	nilTimer.Cancel() // must not panic
+	var zero Timer
+	zero.Cancel() // zero handle must not panic
 }
 
 func TestEngineRunUntil(t *testing.T) {
@@ -106,6 +106,77 @@ func TestEngineMaxEvents(t *testing.T) {
 	}
 	if e.Steps() != 100 {
 		t.Errorf("Steps = %d, want 100", e.Steps())
+	}
+}
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	timer := e.Schedule(time.Millisecond, func() { fired++ })
+	e.Run(0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	timer.Cancel() // after the event has fired: must be a no-op
+	timer.Cancel()
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after cancel-after-fire", e.Pending())
+	}
+}
+
+func TestEngineCancelAfterReuse(t *testing.T) {
+	// The arena recycles slots through a free list; a stale Timer from a
+	// fired event must not cancel the unrelated event now occupying its
+	// slot. With a single event in flight the slot is reused immediately,
+	// so this exercises the generation counter directly.
+	e := NewEngine()
+	var fired []string
+	stale := e.Schedule(time.Millisecond, func() { fired = append(fired, "first") })
+	e.Run(0)
+	second := e.Schedule(time.Millisecond, func() { fired = append(fired, "second") })
+	stale.Cancel() // refers to a recycled slot — must not touch `second`
+	e.Run(0)
+	if len(fired) != 2 || fired[1] != "second" {
+		t.Fatalf("fired = %v; stale handle cancelled a reused slot", fired)
+	}
+	second.Cancel() // and cancelling the fired event is still a no-op
+}
+
+func TestEngineCancelledSlotReused(t *testing.T) {
+	// A cancelled event's slot is recycled once the queue drains past it,
+	// and fresh events scheduled afterwards fire normally.
+	e := NewEngine()
+	ran := 0
+	timer := e.Schedule(time.Millisecond, func() { ran += 100 })
+	timer.Cancel()
+	e.Run(0)
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { ran++ })
+	}
+	e.Run(0)
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10", ran)
+	}
+}
+
+func TestEngineFIFOAcrossReuse(t *testing.T) {
+	// FIFO tie-break at equal timestamps must hold even when the events
+	// sit in recycled arena slots from earlier waves.
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Schedule(time.Millisecond, func() {})
+	}
+	e.Run(0)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of schedule order after slot reuse: %v", order)
+		}
 	}
 }
 

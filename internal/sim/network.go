@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"math/rand/v2"
 	"time"
 
@@ -35,27 +36,50 @@ type Options struct {
 	DropRate float64
 }
 
+// typeCounter is the per-MsgType accounting cell.
+type typeCounter struct {
+	msgs  int64
+	bytes int64
+}
+
+// counterPage is one dense 256-type block of the two-level counter table.
+// Pages are allocated lazily per high byte, so the handful of MsgType
+// ranges in use cost a few KiB instead of a 64K-entry table or a map
+// lookup per send.
+type counterPage [256]typeCounter
+
+// linkArrival tracks FIFO state for one directed link outside the
+// topology (e.g. DC-net group overlays that Send to arbitrary members).
+type linkArrival struct {
+	to proto.NodeID
+	at time.Duration
+}
+
 // Network hosts one Handler per topology node under the event engine.
 type Network struct {
 	engine *Engine
 	topo   *topology.Graph
 	opts   Options
 
-	nodes []*simNode
+	nodes []simNode
 	taps  []Tap
 
 	latencyRNG *rand.Rand
 	dropRNG    *rand.Rand
 
-	msgCount  map[proto.MsgType]int64
-	byteCount map[proto.MsgType]int64
+	counters  [256]*counterPage
 	totalMsgs int64
 	totalByte int64
 
-	// lastArrival enforces per-link FIFO: like TCP, a link never reorders.
-	lastArrival map[linkKey]time.Duration
+	// Per-link FIFO state (like TCP, a link never reorders) in CSR form:
+	// linkDst[linkOff[v]:linkOff[v+1]] are v's neighbors and linkAt holds
+	// the latest scheduled arrival per directed edge. Sends outside the
+	// topology fall back to the per-node overflow list in simNode.
+	linkOff []int32
+	linkDst []proto.NodeID
+	linkAt  []time.Duration
 
-	deliveries map[proto.MsgID]map[proto.NodeID]time.Duration
+	deliveries map[proto.MsgID]*DeliverySet
 	started    bool
 }
 
@@ -66,25 +90,29 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 		opts.Latency = ConstLatency(10 * time.Millisecond)
 	}
 	n := &Network{
-		engine:      NewEngine(),
-		topo:        topo,
-		opts:        opts,
-		nodes:       make([]*simNode, topo.N()),
-		latencyRNG:  rand.New(rand.NewPCG(opts.Seed, 0xda3e39cb94b95bdb)),
-		dropRNG:     rand.New(rand.NewPCG(opts.Seed, 0x2545f4914f6cdd1d)),
-		msgCount:    make(map[proto.MsgType]int64),
-		byteCount:   make(map[proto.MsgType]int64),
-		deliveries:  make(map[proto.MsgID]map[proto.NodeID]time.Duration),
-		lastArrival: make(map[linkKey]time.Duration),
+		engine:     NewEngine(),
+		topo:       topo,
+		opts:       opts,
+		nodes:      make([]simNode, topo.N()),
+		latencyRNG: rand.New(rand.NewPCG(opts.Seed, 0xda3e39cb94b95bdb)),
+		dropRNG:    rand.New(rand.NewPCG(opts.Seed, 0x2545f4914f6cdd1d)),
+		deliveries: make(map[proto.MsgID]*DeliverySet),
+	}
+	n.linkOff = make([]int32, topo.N()+1)
+	for i := 0; i < topo.N(); i++ {
+		n.linkOff[i+1] = n.linkOff[i] + int32(topo.Degree(proto.NodeID(i)))
+	}
+	n.linkDst = make([]proto.NodeID, n.linkOff[topo.N()])
+	n.linkAt = make([]time.Duration, len(n.linkDst))
+	for i := 0; i < topo.N(); i++ {
+		copy(n.linkDst[n.linkOff[i]:], topo.Neighbors(proto.NodeID(i)))
 	}
 	for i := range n.nodes {
-		id := proto.NodeID(i)
-		n.nodes[i] = &simNode{
-			net:    n,
-			id:     id,
-			rng:    rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15^uint64(i+1))),
-			timers: make(map[proto.TimerID]*Timer),
-		}
+		node := &n.nodes[i]
+		node.net = n
+		node.id = proto.NodeID(i)
+		node.pcg = *rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15^uint64(i+1))
+		node.rand = *rand.New(&node.pcg)
 	}
 	return n
 }
@@ -104,8 +132,8 @@ func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 // SetHandlers installs one handler per node using the factory. Must be
 // called exactly once before Start.
 func (n *Network) SetHandlers(factory func(id proto.NodeID) proto.Handler) {
-	for _, node := range n.nodes {
-		node.handler = factory(node.id)
+	for i := range n.nodes {
+		n.nodes[i].handler = factory(n.nodes[i].id)
 	}
 }
 
@@ -123,7 +151,8 @@ func (n *Network) Start() {
 		panic("sim: Network.Start called twice")
 	}
 	n.started = true
-	for _, node := range n.nodes {
+	for i := range n.nodes {
+		node := &n.nodes[i]
 		if node.handler == nil {
 			panic(fmt.Sprintf("sim: node %d has no handler", node.id))
 		}
@@ -141,7 +170,7 @@ func (n *Network) RunUntil(deadline time.Duration) uint64 { return n.engine.RunU
 // Originate injects a broadcast payload at the given node. The node's
 // handler must implement proto.Broadcaster.
 func (n *Network) Originate(at proto.NodeID, payload []byte) (proto.MsgID, error) {
-	node := n.nodes[at]
+	node := &n.nodes[at]
 	b, ok := node.handler.(proto.Broadcaster)
 	if !ok {
 		return proto.MsgID{}, fmt.Errorf("sim: handler at node %d is not a Broadcaster (%T)", at, node.handler)
@@ -153,7 +182,7 @@ func (n *Network) Originate(at proto.NodeID, payload []byte) (proto.MsgID, error
 // node through the event loop — a hook for tests and experiment drivers
 // to trigger handler actions without reaching into handler internals.
 func (n *Network) InjectTimer(id proto.NodeID, payload any) {
-	node := n.nodes[id]
+	node := &n.nodes[id]
 	n.engine.Schedule(0, func() {
 		if node.crashed {
 			return
@@ -180,47 +209,128 @@ func (n *Network) TotalMessages() int64 { return n.totalMsgs }
 // codec was configured).
 func (n *Network) TotalBytes() int64 { return n.totalByte }
 
+// counter returns the accounting cell for a type, allocating its page on
+// first use.
+func (n *Network) counter(t proto.MsgType) *typeCounter {
+	page := n.counters[t>>8]
+	if page == nil {
+		page = new(counterPage)
+		n.counters[t>>8] = page
+	}
+	return &page[t&0xff]
+}
+
 // MessagesOfType returns the count of sent messages with the given type.
-func (n *Network) MessagesOfType(t proto.MsgType) int64 { return n.msgCount[t] }
+func (n *Network) MessagesOfType(t proto.MsgType) int64 {
+	if page := n.counters[t>>8]; page != nil {
+		return page[t&0xff].msgs
+	}
+	return 0
+}
 
 // BytesOfType returns the byte count for one message type.
-func (n *Network) BytesOfType(t proto.MsgType) int64 { return n.byteCount[t] }
+func (n *Network) BytesOfType(t proto.MsgType) int64 {
+	if page := n.counters[t>>8]; page != nil {
+		return page[t&0xff].bytes
+	}
+	return 0
+}
 
 // ResetCounters zeroes message/byte counters (e.g. after warm-up).
 func (n *Network) ResetCounters() {
 	n.totalMsgs, n.totalByte = 0, 0
-	clear(n.msgCount)
-	clear(n.byteCount)
+	for _, page := range n.counters {
+		if page != nil {
+			*page = counterPage{}
+		}
+	}
+}
+
+// DeliverySet records the first local-delivery time of one payload at
+// each node, densely indexed by node ID. The zero/nil set is empty.
+type DeliverySet struct {
+	times []time.Duration // undelivered = -1
+	count int
+}
+
+// Count returns how many nodes have delivered the payload.
+func (d *DeliverySet) Count() int {
+	if d == nil {
+		return 0
+	}
+	return d.count
+}
+
+// Time returns the first delivery time at node.
+func (d *DeliverySet) Time(node proto.NodeID) (time.Duration, bool) {
+	if d == nil || int(node) < 0 || int(node) >= len(d.times) || d.times[node] < 0 {
+		return 0, false
+	}
+	return d.times[node], true
+}
+
+// All iterates (node, first-delivery time) pairs in node-ID order.
+func (d *DeliverySet) All() iter.Seq2[proto.NodeID, time.Duration] {
+	return func(yield func(proto.NodeID, time.Duration) bool) {
+		if d == nil {
+			return
+		}
+		for i, at := range d.times {
+			if at >= 0 && !yield(proto.NodeID(i), at) {
+				return
+			}
+		}
+	}
 }
 
 // Delivered returns how many nodes have locally delivered the payload.
-func (n *Network) Delivered(id proto.MsgID) int { return len(n.deliveries[id]) }
+func (n *Network) Delivered(id proto.MsgID) int { return n.deliveries[id].Count() }
 
 // DeliveryTime returns the first local-delivery time of id at node.
 func (n *Network) DeliveryTime(id proto.MsgID, node proto.NodeID) (time.Duration, bool) {
-	t, ok := n.deliveries[id][node]
-	return t, ok
+	return n.deliveries[id].Time(node)
 }
 
-// DeliveryTimes returns the first-delivery time map for a payload. The
-// caller must not mutate it.
-func (n *Network) DeliveryTimes(id proto.MsgID) map[proto.NodeID]time.Duration {
-	return n.deliveries[id]
-}
+// Deliveries returns the delivery record for a payload (nil-safe: the
+// result is usable even for unknown IDs). The caller must not mutate it.
+func (n *Network) Deliveries(id proto.MsgID) *DeliverySet { return n.deliveries[id] }
 
 func (n *Network) recordDelivery(at time.Duration, node proto.NodeID, id proto.MsgID, payload []byte) {
-	m := n.deliveries[id]
-	if m == nil {
-		m = make(map[proto.NodeID]time.Duration)
-		n.deliveries[id] = m
+	d := n.deliveries[id]
+	if d == nil {
+		times := make([]time.Duration, len(n.nodes))
+		for i := range times {
+			times[i] = -1
+		}
+		d = &DeliverySet{times: times}
+		n.deliveries[id] = d
 	}
-	if _, seen := m[node]; seen {
+	if d.times[node] >= 0 {
 		return // only first delivery counts
 	}
-	m[node] = at
+	d.times[node] = at
+	d.count++
 	for _, tap := range n.taps {
 		tap.OnDeliverLocal(at, node, id, payload)
 	}
+}
+
+// linkSlot returns the FIFO arrival cell for the directed link from→to:
+// a CSR cell for topology edges, a per-node overflow entry otherwise.
+func (n *Network) linkSlot(from *simNode, to proto.NodeID) *time.Duration {
+	lo, hi := n.linkOff[from.id], n.linkOff[from.id+1]
+	for i, d := range n.linkDst[lo:hi] {
+		if d == to {
+			return &n.linkAt[lo+int32(i)]
+		}
+	}
+	for i := range from.extra {
+		if from.extra[i].to == to {
+			return &from.extra[i].at
+		}
+	}
+	from.extra = append(from.extra, linkArrival{to: to})
+	return &from.extra[len(from.extra)-1].at
 }
 
 func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
@@ -228,12 +338,13 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 		panic(fmt.Sprintf("sim: node %d sent to invalid node %d", from.id, to))
 	}
 	n.totalMsgs++
-	n.msgCount[msg.Type()]++
+	c := n.counter(msg.Type())
+	c.msgs++
 	if n.opts.Codec != nil {
 		if enc, ok := msg.(wire.Encodable); ok {
 			size := int64(n.opts.Codec.Size(enc))
 			n.totalByte += size
-			n.byteCount[msg.Type()] += size
+			c.bytes += size
 		}
 	}
 	for _, tap := range n.taps {
@@ -245,37 +356,31 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 	delay := n.opts.Latency.Delay(from.id, to, n.latencyRNG)
 	// Clamp to per-link FIFO: a later send never overtakes an earlier one
 	// on the same directed link, matching TCP stream semantics.
-	key := linkKey{from.id, to}
 	arrival := n.engine.Now() + delay
-	if prev := n.lastArrival[key]; arrival < prev {
-		arrival = prev
+	slot := n.linkSlot(from, to)
+	if *slot > arrival {
+		arrival = *slot
 	}
-	n.lastArrival[key] = arrival
-	dst := n.nodes[to]
-	src := from.id
-	n.engine.Schedule(arrival-n.engine.Now(), func() {
-		if dst.crashed {
-			return
-		}
-		dst.handler.HandleMessage(dst, src, msg)
-	})
+	*slot = arrival
+	n.engine.scheduleDeliver(arrival-n.engine.Now(), &n.nodes[to], from.id, msg)
 }
 
-// linkKey identifies a directed link for FIFO bookkeeping.
-type linkKey struct {
-	from, to proto.NodeID
-}
-
-// simNode implements proto.Context for one simulated node.
+// simNode implements proto.Context for one simulated node. Nodes live in
+// one contiguous slice with their random source embedded, so building a
+// network performs O(1) allocations per node, not O(5).
 type simNode struct {
 	net     *Network
 	id      proto.NodeID
-	rng     *rand.Rand
+	pcg     rand.PCG
+	rand    rand.Rand
 	handler proto.Handler
 	crashed bool
 
 	nextTimer proto.TimerID
-	timers    map[proto.TimerID]*Timer
+	timers    map[proto.TimerID]Timer
+
+	// extra holds FIFO arrival state for links outside the topology.
+	extra []linkArrival
 }
 
 var _ proto.Context = (*simNode)(nil)
@@ -284,7 +389,7 @@ func (s *simNode) Self() proto.NodeID { return s.id }
 
 func (s *simNode) Now() time.Duration { return s.net.engine.Now() }
 
-func (s *simNode) Rand() *rand.Rand { return s.rng }
+func (s *simNode) Rand() *rand.Rand { return &s.rand }
 
 func (s *simNode) Neighbors() []proto.NodeID { return s.net.topo.Neighbors(s.id) }
 
@@ -293,14 +398,20 @@ func (s *simNode) Send(to proto.NodeID, msg proto.Message) { s.net.send(s, to, m
 func (s *simNode) SetTimer(delay time.Duration, payload any) proto.TimerID {
 	s.nextTimer++
 	id := s.nextTimer
-	s.timers[id] = s.net.engine.Schedule(delay, func() {
-		delete(s.timers, id)
-		if s.crashed {
-			return
-		}
-		s.handler.HandleTimer(s, payload)
-	})
+	if s.timers == nil {
+		s.timers = make(map[proto.TimerID]Timer, 8)
+	}
+	s.timers[id] = s.net.engine.scheduleTimer(delay, s, id, payload)
 	return id
+}
+
+// onTimerFire dispatches an evTimer event (called from the engine loop).
+func (s *simNode) onTimerFire(id proto.TimerID, payload any) {
+	delete(s.timers, id)
+	if s.crashed {
+		return
+	}
+	s.handler.HandleTimer(s, payload)
 }
 
 func (s *simNode) CancelTimer(id proto.TimerID) {

@@ -72,7 +72,7 @@ func lineNetwork(t *testing.T, n int, opts Options) (*Network, []*relayHandler) 
 func TestNetworkRelayAndLatency(t *testing.T) {
 	net, handlers := lineNetwork(t, 5, Options{Seed: 1, Latency: ConstLatency(10 * time.Millisecond)})
 	// Kick off: node 0 sends to node 1.
-	node0 := net.nodes[0]
+	node0 := &net.nodes[0]
 	node0.Send(1, &pingMsg{Hop: 0})
 	net.Run(0)
 
@@ -222,7 +222,7 @@ func TestNodeTimers(t *testing.T) {
 	})
 	net.Start()
 
-	node := net.nodes[0]
+	node := &net.nodes[0]
 	id := node.SetTimer(5*time.Millisecond, "x")
 	node.CancelTimer(id)
 	node.SetTimer(7*time.Millisecond, "y")

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the tracked benchmark suite — the E1–E13/A1–A2 experiment
+# benchmarks plus the sim/topology/crypto/dcnet micro-benchmarks — and
+# rewrites the "current" section of BENCH_runtime.json. The "baseline"
+# section is preserved verbatim so regressions stay visible across PRs
+# (see DESIGN.md §4).
+#
+# Usage:
+#   scripts/bench.sh                 # quick (1 iteration per benchmark)
+#   BENCHTIME=2s scripts/bench.sh    # steadier numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchjson -benchtime "${BENCHTIME:-1x}" "$@"
