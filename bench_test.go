@@ -42,7 +42,7 @@ func runExperiment(b *testing.B, id string, report func(b *testing.B, t *metrics
 	}
 	var last *metrics.Table
 	for i := 0; i < b.N; i++ {
-		last = e.Run(true)
+		last = e.Run(experiments.Quick())
 	}
 	if last != nil {
 		report(b, last)
@@ -162,6 +162,16 @@ func BenchmarkE13DissentStartup(b *testing.B) {
 	runExperiment(b, "e13", func(b *testing.B, t *metrics.Table) {
 		b.ReportMetric(cell(t, len(t.Rows)-1, 4), "scaling@gmax")
 		b.ReportMetric(cell(t, len(t.Rows)-1, 2), "messages@gmax")
+	})
+}
+
+// BenchmarkE14ScaleSweep runs the past-the-paper scale sweep (quick
+// mode: N=1k and 10k, flood + adaptive to full coverage).
+func BenchmarkE14ScaleSweep(b *testing.B) {
+	runExperiment(b, "e14", func(b *testing.B, t *metrics.Table) {
+		last := len(t.Rows) - 1
+		b.ReportMetric(cell(t, last, 3), "adaptive-msgs@nmax")
+		b.ReportMetric(cell(t, last-1, 3), "flood-msgs@nmax")
 	})
 }
 

@@ -6,9 +6,15 @@
 // tracking started, preserved verbatim across runs — and "current", which
 // this tool rewrites. Regressions are judged by comparing the two.
 //
+// With -check, the run becomes a CI gate: after rewriting "current" it
+// compares every benchmark present in both sections and exits non-zero
+// when current ns/op regresses beyond -tolerance (default 15%) against
+// baseline. Benchmarks whose baseline is below -floor-ns are skipped —
+// sub-millisecond numbers at -benchtime=1x are noise, not signal.
+//
 // Usage:
 //
-//	go run ./cmd/benchjson [-benchtime 1x] [-out BENCH_runtime.json]
+//	go run ./cmd/benchjson [-benchtime 1x] [-out BENCH_runtime.json] [-check]
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,13 +47,17 @@ type Report struct {
 }
 
 // benchPackages lists the suites tracked in BENCH_runtime.json: the
-// top-level experiment benchmarks (E1–E13, A1–A2) plus the runtime,
+// top-level experiment benchmarks (E1–E14, A1–A2) plus the runtime,
 // topology, crypto and DC-net micro-benchmarks.
 var benchPackages = []string{".", "./internal/sim", "./internal/topology", "./internal/crypto", "./internal/dcnet"}
 
 func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value; the fastest of the runs is recorded (noise-robust)")
 	out := flag.String("out", "BENCH_runtime.json", "output file")
+	check := flag.Bool("check", false, "fail when current regresses vs baseline beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression vs baseline")
+	floorNs := flag.Float64("floor-ns", 1e6, "skip the regression check for baselines faster than this (noise at 1x)")
 	flag.Parse()
 
 	report := Report{
@@ -63,7 +74,7 @@ func main() {
 
 	for _, pkg := range benchPackages {
 		cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem",
-			"-benchtime", *benchtime, pkg)
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count), pkg)
 		cmd.Stderr = os.Stderr
 		outBytes, err := cmd.Output()
 		fmt.Print(string(outBytes))
@@ -73,6 +84,21 @@ func main() {
 		}
 		for name, b := range parseBenchOutput(string(outBytes)) {
 			report.Current[name] = b
+		}
+	}
+
+	// Seed baselines for benchmarks that gained tracking after the
+	// baseline was recorded (existing entries are never touched). The
+	// seeded ns/op gets 1.5× headroom: a first measurement carries none
+	// of the cross-machine/thermal slack the hand-recorded seed-era
+	// baselines have, and a gate with zero headroom fires on noise.
+	if report.Baseline == nil {
+		report.Baseline = map[string]Bench{}
+	}
+	for name, b := range report.Current {
+		if _, ok := report.Baseline[name]; !ok {
+			b.NsPerOp *= 1.5
+			report.Baseline[name] = b
 		}
 	}
 
@@ -86,9 +112,76 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(report.Current), *out)
+
+	if *check {
+		if failures := compare(report, *tolerance, *floorNs); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: regression check passed (tolerance %.0f%%, floor %s)\n",
+			*tolerance*100, fmtNs(*floorNs))
+	}
+}
+
+// allocSlack is the absolute allocs/op headroom on top of the fractional
+// tolerance: single-iteration runs charge one-off warm-up growth (arena
+// blocks, map rehashes) to the measured op, so a handful of allocations
+// of jitter is expected even on "allocation-free" benchmarks.
+const allocSlack = 16
+
+// compare returns one message per benchmark whose current ns/op — or
+// allocs/op, which unlike time barely varies between runs — exceeds
+// baseline by more than the tolerance. The ns/op check skips benchmarks
+// missing from either section and baselines under the noise floor; the
+// allocation check has no floor, since that is where the steady-state
+// 0-allocs guarantees live (BenchmarkEngineChurn1M).
+func compare(r Report, tolerance, floorNs float64) []string {
+	names := make([]string, 0, len(r.Baseline))
+	for name := range r.Baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	checked := 0
+	for _, name := range names {
+		base, cur := r.Baseline[name], r.Current[name]
+		if cur.NsPerOp == 0 {
+			continue
+		}
+		checked++
+		if base.NsPerOp >= floorNs && cur.NsPerOp > base.NsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %s -> %s (+%.0f%% > %.0f%% tolerance)",
+				name, fmtNs(base.NsPerOp), fmtNs(cur.NsPerOp),
+				(cur.NsPerOp/base.NsPerOp-1)*100, tolerance*100))
+		}
+		if allocLimit := float64(base.AllocsPerOp)*(1+tolerance) + allocSlack; float64(cur.AllocsPerOp) > allocLimit {
+			failures = append(failures, fmt.Sprintf("%s: %d -> %d allocs/op (limit %.0f)",
+				name, base.AllocsPerOp, cur.AllocsPerOp, allocLimit))
+		}
+	}
+	fmt.Printf("benchjson: compared %d benchmarks against baseline\n", checked)
+	return failures
+}
+
+// fmtNs renders a ns/op value human-readably.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
 }
 
 // parseBenchOutput extracts Benchmark lines from `go test -bench` output.
+// With -count > 1 a benchmark appears once per run; the fastest run wins
+// — the standard noise-robust statistic for single-iteration timings.
 // A line looks like:
 //
 //	BenchmarkNetworkFlood  602  1956941 ns/op  12 extra-metric  1523985 B/op  3059 allocs/op
@@ -125,7 +218,9 @@ func parseBenchOutput(s string) map[string]Bench {
 				b.Metrics[unit] = v
 			}
 		}
-		results[name] = b
+		if prev, ok := results[name]; !ok || b.NsPerOp < prev.NsPerOp {
+			results[name] = b
+		}
 	}
 	return results
 }

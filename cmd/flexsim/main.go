@@ -1,11 +1,15 @@
 // Command flexsim regenerates the paper's evaluation artifacts. Each
-// experiment (e1…e12, see DESIGN.md §3) prints a table; `all` runs the
+// experiment (e1…e14, see DESIGN.md §3) prints a table; `all` runs the
 // full suite — `flexsim -md all` produces the Markdown tables embedded
 // in EXPERIMENTS.md.
 //
+// Trials execute over a worker pool (-par, default GOMAXPROCS); tables
+// are bit-identical at every parallelism. Network-scale experiments
+// (e1, e3–e5, e9, e10, a2, e14) honor -n/-degree overlay overrides.
+//
 // Usage:
 //
-//	flexsim [-quick] [-md] [-csv] <experiment|all|list>
+//	flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] <experiment|all|list>
 package main
 
 import (
@@ -26,9 +30,13 @@ func run() int {
 	quick := flag.Bool("quick", false, "fewer trials (CI mode); published numbers use full mode")
 	md := flag.Bool("md", false, "render GitHub Markdown")
 	csv := flag.Bool("csv", false, "render CSV")
+	n := flag.Int("n", 0, "override overlay size on network-scale experiments (0: paper default)")
+	degree := flag.Int("degree", 0, "override overlay degree (0: paper default)")
+	trials := flag.Int("trials", 0, "override trial count (0: mode default)")
+	par := flag.Int("par", 0, "trial worker-pool size (0: GOMAXPROCS, 1: sequential)")
 	exps := experiments.All()
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] <experiment|all|list>\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] <experiment|all|list>\n\nexperiments:\n")
 		for _, e := range exps {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
 		}
@@ -38,6 +46,7 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	sc := experiments.Scenario{Quick: *quick, N: *n, Degree: *degree, Trials: *trials, Par: *par}
 
 	render := func(t *metrics.Table) {
 		switch {
@@ -59,7 +68,7 @@ func run() int {
 		for _, e := range exps {
 			start := time.Now()
 			fmt.Fprintf(os.Stderr, "running %s: %s…\n", e.ID, e.Title)
-			render(e.Run(*quick))
+			render(e.Run(sc))
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	default:
@@ -69,7 +78,7 @@ func run() int {
 			flag.Usage()
 			return 2
 		}
-		render(e.Run(*quick))
+		render(e.Run(sc))
 	}
 	return 0
 }

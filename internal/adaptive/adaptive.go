@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/visited"
 )
 
 // Config parametrizes the diffusion.
@@ -83,38 +84,157 @@ type vsState struct {
 // roundTimer is the timer payload driving virtual-source rounds.
 type roundTimer struct{ id proto.MsgID }
 
+// Shared is network-wide diffusion state sized to the node count: one
+// epoch-stamped dense vector of tree-state pointers per in-flight
+// message (replacing the per-node map[proto.MsgID]*State), plus a free
+// list recycling the State objects — and their Children slices — across
+// trials. All engines of one simulated network share one Shared; trial
+// loops Reset it between sequentially simulated networks.
+//
+// Like flood.Shared, it is single-threaded by design: each parallel
+// trial-runner worker owns its own Shared alongside its own network.
+type Shared struct {
+	states *visited.Table[*State]
+	pool   *visited.Pool[*State]
+	// gen counts Resets; engines compare it to drop their per-node
+	// virtual-source/pending-token leftovers from earlier trials.
+	gen uint64
+}
+
+// NewShared returns shared diffusion state for node IDs in [0, n).
+func NewShared(n int) *Shared {
+	return &Shared{
+		states: visited.NewTable[*State](n),
+		pool: visited.NewPool(
+			func() *State { return &State{Parent: proto.NoNode} },
+			func(st *State) {
+				st.Payload = nil // do not pin trial payloads through the pool
+				st.Parent = proto.NoNode
+				st.Children = st.Children[:0]
+				st.lastRound = 0
+				st.finalDone = false
+			},
+		),
+	}
+}
+
+// N returns the node count the state was sized for.
+func (s *Shared) N() int { return s.states.N() }
+
+// Reset invalidates all per-message state and reclaims the State
+// objects for the next trial. The previous trial's network must be
+// drained or discarded; engines notice the new generation and drop any
+// virtual-source or buffered-token state a truncated trial left behind.
+func (s *Shared) Reset() {
+	s.states.Reset()
+	s.pool.Reset()
+	s.gen++
+}
+
 // Engine executes adaptive diffusion for any number of concurrent
 // messages at one node.
+//
+// Tree state lives either in a per-node map (standalone mode, NewEngine)
+// or in dense vectors shared across the whole network (NewEngineAt).
+// The virtual-source and pending-token maps stay per-node in both modes
+// — at most one node holds the token — and are allocated lazily, so
+// idle nodes cost nothing.
 type Engine struct {
 	cfg    Config
-	states map[proto.MsgID]*State
-	vs     map[proto.MsgID]*vsState
+	states map[proto.MsgID]*State // standalone mode; nil in dense mode
+	shared *Shared                // dense mode; nil in standalone mode
+	self   proto.NodeID
+	gen    uint64                   // last Shared generation synced (dense mode)
+	vs     map[proto.MsgID]*vsState // lazy: only ever the token holder
 	// pendingToken buffers a token that arrived before the payload (only
 	// possible under exotic latency models; links are FIFO).
 	pendingToken map[proto.MsgID]*TokenMsg
 }
 
-// NewEngine returns an engine with the given configuration.
-func NewEngine(cfg Config) *Engine {
+// sync drops per-engine leftovers from a previous trial. Dense-mode
+// engines are reused across Shared.Reset generations, and a trial
+// stopped mid-diffusion (the run-until-coverage loops) can leave a live
+// vsState or a buffered token behind — state Shared.Reset cannot see.
+// Without this, a repeated payload (same MsgID) in the next trial would
+// hit the stale virtual-source entry and silently drop its token.
+func (e *Engine) sync() {
+	if e.shared != nil && e.gen != e.shared.gen {
+		e.gen = e.shared.gen
+		clear(e.vs)
+		clear(e.pendingToken)
+	}
+}
+
+func (cfg *Config) applyDefaults() {
 	if cfg.D < 1 {
 		cfg.D = 1
 	}
 	if cfg.RoundInterval <= 0 {
 		cfg.RoundInterval = 500 * time.Millisecond
 	}
-	return &Engine{
-		cfg:          cfg,
-		states:       make(map[proto.MsgID]*State),
-		vs:           make(map[proto.MsgID]*vsState),
-		pendingToken: make(map[proto.MsgID]*TokenMsg),
+}
+
+// NewEngine returns a standalone engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	cfg.applyDefaults()
+	return &Engine{cfg: cfg}
+}
+
+// NewEngineAt returns an engine for node self backed by shared dense
+// state. Engines in this mode allocate nothing at construction and are
+// reusable across trials (Reset the Shared between trials).
+func NewEngineAt(cfg Config, shared *Shared, self proto.NodeID) *Engine {
+	if int(self) < 0 || int(self) >= shared.N() {
+		panic("adaptive: NewEngineAt node out of range")
 	}
+	cfg.applyDefaults()
+	return &Engine{cfg: cfg, shared: shared, self: self}
 }
 
 // State returns the node's tree state for a message, or nil.
-func (e *Engine) State(id proto.MsgID) *State { return e.states[id] }
+func (e *Engine) State(id proto.MsgID) *State {
+	e.sync()
+	if e.shared != nil {
+		if vec := e.shared.states.Lookup(id); vec != nil {
+			if st, ok := vec.Get(e.self); ok {
+				return st
+			}
+		}
+		return nil
+	}
+	return e.states[id]
+}
+
+// putState registers fresh tree state for a message at this node. The
+// caller must have checked absence.
+func (e *Engine) putState(id proto.MsgID, payload []byte, parent proto.NodeID, round uint16) *State {
+	var st *State
+	if e.shared != nil {
+		st = e.shared.pool.Get()
+		st.Payload, st.Parent, st.lastRound = payload, parent, round
+		e.shared.states.Vec(id).Set(e.self, st)
+		return st
+	}
+	st = &State{Payload: payload, Parent: parent, lastRound: round}
+	if e.states == nil {
+		e.states = make(map[proto.MsgID]*State)
+	}
+	e.states[id] = st
+	return st
+}
+
+// setVS installs virtual-source bookkeeping, allocating the map on first
+// use.
+func (e *Engine) setVS(id proto.MsgID, v *vsState) {
+	if e.vs == nil {
+		e.vs = make(map[proto.MsgID]*vsState, 1)
+	}
+	e.vs[id] = v
+}
 
 // IsVirtualSource reports whether this node currently holds the token.
 func (e *Engine) IsVirtualSource(id proto.MsgID) bool {
+	e.sync()
 	_, ok := e.vs[id]
 	return ok
 }
@@ -123,11 +243,10 @@ func (e *Engine) IsVirtualSource(id proto.MsgID) bool {
 // the origin infects one random neighbor and immediately hands it the
 // token, so the origin never acts as virtual source.
 func (e *Engine) StartSource(ctx proto.Context, id proto.MsgID, payload []byte) {
-	if _, ok := e.states[id]; ok {
+	if e.State(id) != nil {
 		return
 	}
-	st := &State{Payload: payload, Parent: proto.NoNode, lastRound: 1}
-	e.states[id] = st
+	st := e.putState(id, payload, proto.NoNode, 1)
 	e.deliver(ctx, id, payload)
 	nbs := ctx.Neighbors()
 	if len(nbs) == 0 {
@@ -144,18 +263,17 @@ func (e *Engine) StartSource(ctx proto.Context, id proto.MsgID, payload []byte) 
 // the graph around itself and becomes the initial virtual source. Its
 // first round forces a token pass (Alpha at h=0 is 1).
 func (e *Engine) StartCenter(ctx proto.Context, id proto.MsgID, payload []byte) {
-	if _, ok := e.states[id]; ok {
+	if e.State(id) != nil {
 		return
 	}
-	st := &State{Payload: payload, Parent: proto.NoNode, lastRound: 1}
-	e.states[id] = st
+	st := e.putState(id, payload, proto.NoNode, 1)
 	e.deliver(ctx, id, payload)
 	for _, nb := range ctx.Neighbors() {
 		ctx.Send(nb, &InfectMsg{ID: id, TTL: 1, Round: 1, Payload: payload})
 		st.Children = append(st.Children, nb)
 	}
 	v := &vsState{rho: 1, h: 0, prev: proto.NoNode}
-	e.vs[id] = v
+	e.setVS(id, v)
 	v.timer = ctx.SetTimer(e.cfg.RoundInterval, roundTimer{id: id})
 }
 
@@ -195,11 +313,10 @@ func (e *Engine) deliver(ctx proto.Context, id proto.MsgID, payload []byte) {
 }
 
 func (e *Engine) handleInfect(ctx proto.Context, from proto.NodeID, m *InfectMsg) {
-	if _, ok := e.states[m.ID]; ok {
+	if e.State(m.ID) != nil {
 		return // prune: already infected
 	}
-	st := &State{Payload: m.Payload, Parent: from, lastRound: m.Round}
-	e.states[m.ID] = st
+	st := e.putState(m.ID, m.Payload, from, m.Round)
 	e.deliver(ctx, m.ID, m.Payload)
 	if m.TTL > 1 {
 		out := &InfectMsg{ID: m.ID, TTL: m.TTL - 1, Round: m.Round, Payload: m.Payload}
@@ -232,8 +349,8 @@ func treeNeighbors(st *State, except proto.NodeID) []proto.NodeID {
 }
 
 func (e *Engine) handleExtend(ctx proto.Context, from proto.NodeID, m *ExtendMsg) {
-	st, ok := e.states[m.ID]
-	if !ok || m.Round <= st.lastRound {
+	st := e.State(m.ID)
+	if st == nil || m.Round <= st.lastRound {
 		return
 	}
 	st.lastRound = m.Round
@@ -268,9 +385,12 @@ func (e *Engine) infectOutward(ctx proto.Context, st *State, id proto.MsgID, ttl
 }
 
 func (e *Engine) handleToken(ctx proto.Context, from proto.NodeID, m *TokenMsg) {
-	st, ok := e.states[m.ID]
-	if !ok {
+	st := e.State(m.ID)
+	if st == nil {
 		// Token outran the payload (non-FIFO transport); hold it.
+		if e.pendingToken == nil {
+			e.pendingToken = make(map[proto.MsgID]*TokenMsg, 1)
+		}
 		e.pendingToken[m.ID] = m
 		return
 	}
@@ -278,7 +398,7 @@ func (e *Engine) handleToken(ctx proto.Context, from proto.NodeID, m *TokenMsg) 
 		return
 	}
 	v := &vsState{rho: int(m.Round), h: int(m.H), prev: from}
-	e.vs[m.ID] = v
+	e.setVS(m.ID, v)
 	// Balance: grow the subtree away from the previous virtual source so
 	// this node becomes the centre of the (now radius-Round) ball. The
 	// initial hand-off (Round 1) grows by one hop, later passes by two.
@@ -301,11 +421,12 @@ func (e *Engine) handleToken(ctx proto.Context, from proto.NodeID, m *TokenMsg) 
 }
 
 func (e *Engine) runRound(ctx proto.Context, id proto.MsgID) {
+	e.sync()
 	v, ok := e.vs[id]
 	if !ok {
 		return
 	}
-	st := e.states[id]
+	st := e.State(id)
 	if st == nil {
 		return
 	}
@@ -361,8 +482,8 @@ func (e *Engine) runRound(ctx proto.Context, id proto.MsgID) {
 }
 
 func (e *Engine) handleFinal(ctx proto.Context, from proto.NodeID, m *FinalMsg) {
-	st, ok := e.states[m.ID]
-	if !ok {
+	st := e.State(m.ID)
+	if st == nil {
 		return
 	}
 	e.finalLocal(ctx, m.ID, st, from)
@@ -395,6 +516,14 @@ var _ proto.Broadcaster = (*Protocol)(nil)
 func New(cfg Config) *Protocol {
 	cfg.DeliverLocally = true
 	return &Protocol{engine: NewEngine(cfg)}
+}
+
+// NewAt returns an adaptive-diffusion protocol for node self backed by
+// shared dense state (see NewEngineAt) — the handler-factory form
+// simulation trials use so one network's handlers share one allocation.
+func NewAt(cfg Config, shared *Shared, self proto.NodeID) *Protocol {
+	cfg.DeliverLocally = true
+	return &Protocol{engine: NewEngineAt(cfg, shared, self)}
 }
 
 // Engine exposes the underlying engine.

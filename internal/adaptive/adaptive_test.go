@@ -264,3 +264,122 @@ func TestIsVirtualSourceLifecycle(t *testing.T) {
 		t.Error("source state missing or has a parent")
 	}
 }
+
+// TestSharedEngineMatchesStandalone runs the same seeded diffusion with
+// map-backed and dense shared-state engines; the executed event
+// sequences must be indistinguishable.
+func TestSharedEngineMatchesStandalone(t *testing.T) {
+	g, err := topology.RegularTree(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{D: 4, RoundInterval: 50 * time.Millisecond, TreeDegree: 3}
+	run := func(factory func(id proto.NodeID) proto.Handler) (int64, int, uint64) {
+		net := sim.NewNetwork(g, sim.Options{Seed: 31, Latency: sim.ConstLatency(time.Millisecond)})
+		net.SetHandlers(factory)
+		net.Start()
+		id, err := net.Originate(0, []byte("dense-vs-map"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		return net.TotalMessages(), net.Delivered(id), net.Engine().Steps()
+	}
+	mapMsgs, mapCov, mapSteps := run(func(proto.NodeID) proto.Handler { return New(cfg) })
+	shared := NewShared(g.N())
+	dMsgs, dCov, dSteps := run(func(id proto.NodeID) proto.Handler { return NewAt(cfg, shared, id) })
+	if mapMsgs != dMsgs || mapCov != dCov || mapSteps != dSteps {
+		t.Errorf("dense (%d msgs, %d delivered, %d steps) != standalone (%d, %d, %d)",
+			dMsgs, dCov, dSteps, mapMsgs, mapCov, mapSteps)
+	}
+}
+
+// TestSharedReuseAcrossTrials reuses one Shared over sequential
+// diffusion trials with the same payload: recycled State vectors must
+// start empty each trial or the second run would prune immediately.
+func TestSharedReuseAcrossTrials(t *testing.T) {
+	g, err := topology.Line(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{D: 3, RoundInterval: 50 * time.Millisecond, TreeDegree: 2}
+	shared := NewShared(g.N())
+	var firstMsgs int64
+	for trial := 0; trial < 3; trial++ {
+		shared.Reset()
+		net := sim.NewNetwork(g, sim.Options{Seed: 9, Latency: sim.ConstLatency(time.Millisecond)})
+		net.SetHandlers(func(id proto.NodeID) proto.Handler { return NewAt(cfg, shared, id) })
+		net.Start()
+		id, err := net.Originate(20, []byte("again"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		if net.Delivered(id) < BallSize(2, 3) {
+			t.Fatalf("trial %d: delivered %d < ball size %d", trial, net.Delivered(id), BallSize(2, 3))
+		}
+		if trial == 0 {
+			firstMsgs = net.TotalMessages()
+		} else if net.TotalMessages() != firstMsgs {
+			// Same seed, same topology, same payload: replays must match.
+			t.Fatalf("trial %d: %d messages, want %d", trial, net.TotalMessages(), firstMsgs)
+		}
+	}
+	if shared.pool.Free() != 0 || shared.pool.Issued() == 0 {
+		t.Fatalf("pool state off: %d free, %d issued before final reset",
+			shared.pool.Free(), shared.pool.Issued())
+	}
+	shared.Reset()
+	if shared.pool.Free() == 0 {
+		t.Fatal("Reset reclaimed no States")
+	}
+}
+
+// TestEngineReuseDropsStaleTokenState pins the Shared-generation sync:
+// reusing the *same* dense engines across trials after a trial was cut
+// off mid-diffusion (live virtual source, as the run-until-coverage
+// loops do) must not let the stale vsState swallow the next trial's
+// token for the repeated payload.
+func TestEngineReuseDropsStaleTokenState(t *testing.T) {
+	g, err := topology.Line(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{D: 8, RoundInterval: 50 * time.Millisecond, TreeDegree: 2}
+	shared := NewShared(g.N())
+	net := sim.NewNetwork(g, sim.Options{Seed: 5, Latency: sim.ConstLatency(time.Millisecond)})
+	handlers := make([]proto.Handler, g.N())
+	for i := range handlers {
+		handlers[i] = NewAt(cfg, shared, proto.NodeID(i))
+	}
+	payload := []byte("truncated")
+
+	// Same seed every trial so the virtual-source walk replays exactly:
+	// the truncated middle trial strands a vsState at the node the final
+	// trial's token must pass through.
+	run := func(until time.Duration) int {
+		net.Reset(5)
+		shared.Reset()
+		net.SetHandlers(func(id proto.NodeID) proto.Handler { return handlers[id] })
+		net.Start()
+		id, err := net.Originate(30, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.RunUntil(until)
+		return net.Delivered(id)
+	}
+
+	full := run(time.Minute) // reference: complete diffusion
+	if full < BallSize(2, cfg.D) {
+		t.Fatalf("reference run delivered %d, want ≥ %d", full, BallSize(2, cfg.D))
+	}
+	truncated := run(120 * time.Millisecond) // leaves a live virtual source
+	if truncated >= full {
+		t.Fatalf("truncation did not truncate: %d >= %d", truncated, full)
+	}
+	if again := run(time.Minute); again != full {
+		t.Fatalf("rerun after truncated trial delivered %d, want %d (stale token state leaked across Reset)",
+			again, full)
+	}
+}

@@ -23,6 +23,7 @@
 package dcnet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"slices"
@@ -528,12 +529,24 @@ func shareAAD(round uint32) []byte {
 	return []byte{byte(round), byte(round >> 8), byte(round >> 16), byte(round >> 24), 0x01}
 }
 
-// fillRandom fills b from the node's deterministic random source. Real
-// deployments seed the runtime with crypto/rand-derived entropy.
+// fillRandom fills b from the node's deterministic random source, eight
+// bytes per PCG step — share splitting draws a full slot of randomness
+// per peer per round, so the word-wise fill is ~8× cheaper than the
+// byte-at-a-time loop it replaced. (The change redefines the consumed
+// random stream; the recorded experiment tables were refreshed with it.)
+// Real deployments seed the runtime with crypto/rand-derived entropy.
 func fillRandom(ctx proto.Context, b []byte) {
 	rng := ctx.Rand()
-	for i := range b {
-		b[i] = byte(rng.Uint32())
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		binary.LittleEndian.PutUint64(b[i:], rng.Uint64())
+	}
+	if i < len(b) {
+		v := rng.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -16,9 +17,9 @@ import (
 // rarely pass) concentrates the source distribution and the MAP
 // adversary's success rises well above the 1/n ideal, which is exactly
 // why adaptive diffusion computes α instead of guessing.
-func A1AlphaAblation(quick bool) *metrics.Table {
+func A1AlphaAblation(sc Scenario) *metrics.Table {
 	const d = 6 // diffusion rounds on the line
-	nTrials := trials(quick, 300, 2500)
+	nTrials := sc.trials(300, 2500)
 	t := metrics.NewTable(
 		"A1 (ablation) — pass-probability choice vs source obfuscation (line, D=6)",
 		"policy", "MAP P(detect)", "ideal 1/n", "degradation",
@@ -33,24 +34,27 @@ func A1AlphaAblation(quick bool) *metrics.Table {
 
 	run := func(override float64) float64 {
 		distCounts := make([]int, d+2)
-		for trial := 0; trial < nTrials; trial++ {
+		hs := runner.Map(nTrials, sc.Par, func(trial int) int {
 			tracker := &tokenTracker{last: proto.NoNode}
 			net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(time.Millisecond)})
 			net.AddTap(tracker)
-			net.SetHandlers(func(proto.NodeID) proto.Handler {
-				return adaptive.New(adaptive.Config{
+			shared := adaptive.NewShared(g.N())
+			net.SetHandlers(func(id proto.NodeID) proto.Handler {
+				return adaptive.NewAt(adaptive.Config{
 					D:             d,
 					RoundInterval: 100 * time.Millisecond,
 					TreeDegree:    2,
 					AlphaOverride: override,
-				})
+				}, shared, id)
 			})
 			net.Start()
 			if _, err := net.Originate(src, []byte{byte(trial), byte(trial >> 8)}); err != nil {
 				panic(err)
 			}
 			net.RunUntil(time.Minute)
-			h := g.BFS(tracker.last)[src]
+			return g.BFS(tracker.last)[src]
+		})
+		for _, h := range hs {
 			if h >= 0 && h < len(distCounts) {
 				distCounts[h]++
 			}

@@ -6,6 +6,7 @@ import (
 
 	"repro/flexnet"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 // A2ParameterAdvisor validates flexnet.RecommendParams — the "data for
@@ -14,11 +15,11 @@ import (
 // fraction) the advisor picks (k, d); we then run the composed protocol
 // at those parameters and check the measured adversary success stays at
 // or below the predicted floor while delivery stays complete.
-func A2ParameterAdvisor(quick bool) *metrics.Table {
-	const n, deg = 400, 8
-	nTrials := trials(quick, 4, 25)
+func A2ParameterAdvisor(sc Scenario) *metrics.Table {
+	n, deg := sc.size(400), sc.degree(8)
+	nTrials := sc.trials(4, 25)
 	t := metrics.NewTable(
-		"A2 — parameter advisor validation (N=400)",
+		fmt.Sprintf("A2 — parameter advisor validation (N=%d)", n),
 		"target floor", "adversary f", "chosen k", "chosen d", "predicted floor", "measured P(deanon)", "delivery",
 	)
 	cases := []struct {
@@ -39,9 +40,11 @@ func A2ParameterAdvisor(quick bool) *metrics.Table {
 		if err != nil {
 			panic(err)
 		}
-		var hit float64
-		delivered := 0
-		for trial := 0; trial < nTrials; trial++ {
+		type sample struct {
+			hit       float64
+			delivered bool
+		}
+		samples := runner.Map(nTrials, sc.Par, func(trial int) sample {
 			res, err := flexnet.Simulate(flexnet.SimConfig{
 				N: n, Degree: deg,
 				Protocol:          flexnet.ProtocolFlexnet,
@@ -54,10 +57,18 @@ func A2ParameterAdvisor(quick bool) *metrics.Table {
 			if err != nil {
 				panic(err)
 			}
+			var s sample
 			if res.GroupAttackHit && res.GroupSuspectSet > 0 {
-				hit += 1 / float64(res.GroupSuspectSet)
+				s.hit = 1 / float64(res.GroupSuspectSet)
 			}
-			if res.Delivered == res.N {
+			s.delivered = res.Delivered == res.N
+			return s
+		})
+		var hit float64
+		delivered := 0
+		for _, s := range samples {
+			hit += s.hit
+			if s.delivered {
 				delivered++
 			}
 		}

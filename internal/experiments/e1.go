@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/flood"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -16,37 +18,38 @@ import (
 // flood and prune broadcast." The substrate that makes flood cost
 // exactly ~7,000 is a 1000-node random 8-regular overlay
 // (2E − (N−1) = 8000 − 999 = 7001).
-func E1Messages(quick bool) *metrics.Table {
-	const n, deg = 1000, 8
+func E1Messages(sc Scenario) *metrics.Table {
+	n, deg := sc.size(1000), sc.degree(8)
 	t := metrics.NewTable(
-		"E1 — messages to reach all 1000 peers (paper: flood ≈ 7,000; adaptive diffusion ≈ 12,500)",
+		fmt.Sprintf("E1 — messages to reach all %d peers (paper: flood ≈ 7,000; adaptive diffusion ≈ 12,500)", n),
 		"protocol", "trials", "mean msgs", "std", "paper", "ratio vs flood",
 	)
-	nTrials := trials(quick, 3, 20)
+	nTrials := sc.trials(3, 20)
 
-	floodStats := metrics.NewSummary()
-	adStats := metrics.NewSummary()
-	for trial := 0; trial < nTrials; trial++ {
+	type sample struct{ flood, adaptive float64 }
+	samples := runner.Map(nTrials, sc.Par, func(trial int) sample {
 		seed := uint64(trial + 1)
 		g := regular(n, deg, seed)
 
 		// Flood-and-prune.
 		netF := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(50 * time.Millisecond)})
-		netF.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+		fShared := flood.NewShared(n)
+		netF.SetHandlers(func(id proto.NodeID) proto.Handler { return flood.NewAt(fShared, id) })
 		netF.Start()
 		src := proto.NodeID(int(seed) % n)
 		if _, err := netF.Originate(src, []byte{byte(trial), 0x01}); err != nil {
 			panic(err)
 		}
 		netF.RunUntil(time.Minute)
-		floodStats.Add(float64(netF.TotalMessages()))
+		s := sample{flood: float64(netF.TotalMessages())}
 
 		// Adaptive diffusion until full coverage (D effectively
 		// unbounded; we stop as soon as every peer is infected and
 		// count the messages sent up to that point).
 		netA := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(50 * time.Millisecond)})
-		netA.SetHandlers(func(proto.NodeID) proto.Handler {
-			return adaptive.New(adaptive.Config{D: 64, RoundInterval: 500 * time.Millisecond, TreeDegree: deg})
+		aShared := adaptive.NewShared(n)
+		netA.SetHandlers(func(id proto.NodeID) proto.Handler {
+			return adaptive.NewAt(adaptive.Config{D: 64, RoundInterval: 500 * time.Millisecond, TreeDegree: deg}, aShared, id)
 		})
 		netA.Start()
 		id, err := netA.Originate(src, []byte{byte(trial), 0x02})
@@ -56,7 +59,15 @@ func E1Messages(quick bool) *metrics.Table {
 		for step := 0; step < 256 && netA.Delivered(id) < n; step++ {
 			netA.RunUntil(netA.Now() + 250*time.Millisecond)
 		}
-		adStats.Add(float64(netA.TotalMessages()))
+		s.adaptive = float64(netA.TotalMessages())
+		return s
+	})
+
+	floodStats := metrics.NewSummary()
+	adStats := metrics.NewSummary()
+	for _, s := range samples {
+		floodStats.Add(s.flood)
+		adStats.Add(s.adaptive)
 	}
 
 	t.AddRow("flood-and-prune", nTrials, floodStats.Mean(), floodStats.Std(), "7,000", 1.0)

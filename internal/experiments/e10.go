@@ -8,6 +8,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 )
 
 // E10MinerFairness quantifies the §II motivation: "each transaction
@@ -22,10 +23,11 @@ import (
 // approaching the block interval makes the realized fee share deviate
 // from the hashpower share — the total-variation unfairness column —
 // and delays inclusion.
-func E10MinerFairness(quick bool) *metrics.Table {
-	const n, deg, minerCount = 300, 8, 20
-	profileCount := trials(quick, 3, 10)
-	txCount := trials(quick, 200, 2000)
+func E10MinerFairness(sc Scenario) *metrics.Table {
+	n, deg := sc.size(300), sc.degree(8)
+	const minerCount = 20
+	profileCount := sc.trials(3, 10)
+	txCount := sc.pick(200, 2000)
 	t := metrics.NewTable(
 		"E10 — broadcast latency vs miner fairness (20 miners, Poisson blocks)",
 		"protocol", "block interval", "mean inclusion delay", "fee-share TV vs hashpower", "max miner share",
@@ -48,8 +50,11 @@ func E10MinerFairness(quick bool) *metrics.Table {
 	}
 	intervals := []time.Duration{2 * time.Second, 20 * time.Second}
 	for _, pr := range protocols {
-		var profs []map[int32]time.Duration
-		for i := 0; i < profileCount; i++ {
+		// Delivery-time profiles are independent seeded simulations —
+		// the expensive part — and run through the worker pool; the fee
+		// lottery below consumes one shared RNG stream and stays
+		// sequential.
+		profs := runner.Map(profileCount, sc.Par, func(i int) map[int32]time.Duration {
 			prof, err := flexnet.SimulateWithDeliveryTimes(flexnet.SimConfig{
 				N: n, Degree: deg, Protocol: pr.p, K: pr.k, D: 4,
 				Seed: uint64(i + 1),
@@ -57,15 +62,15 @@ func E10MinerFairness(quick bool) *metrics.Table {
 			if err != nil {
 				panic(err)
 			}
-			profs = append(profs, prof)
-		}
+			return prof
+		})
 		for _, interval := range intervals {
 			fees := make(map[proto.NodeID]uint64)
 			var totalFee uint64
 			delay := metrics.NewSummary()
 			// Enough blocks that lottery variance does not drown the
 			// latency effect: ~100 wins per miner in full mode.
-			blocksTarget := trials(quick, 300, 2000)
+			blocksTarget := sc.pick(300, 2000)
 			horizon := time.Duration(blocksTarget) * interval
 			type tx struct {
 				born    time.Duration

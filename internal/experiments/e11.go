@@ -7,6 +7,7 @@ import (
 	"repro/internal/dcnet"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -18,8 +19,8 @@ import (
 // the culprit; under PolicyDissolve the group burns and re-forms without
 // identification. The table reports rounds until the policy resolves the
 // attack, message overhead of commitments, and misidentification counts.
-func E11Blame(quick bool) *metrics.Table {
-	nTrials := trials(quick, 3, 15)
+func E11Blame(sc Scenario) *metrics.Table {
+	nTrials := sc.trials(3, 15)
 	t := metrics.NewTable(
 		"E11 — reacting to a DC-net disruptor (g=8, threshold=3)",
 		"policy", "trials", "mean rounds to resolution", "disruptor identified", "honest blamed", "msgs/round overhead",
@@ -100,12 +101,14 @@ func E11Blame(quick bool) *metrics.Table {
 	}
 
 	for _, policy := range []dcnet.Policy{dcnet.PolicyBlame, dcnet.PolicyDissolve} {
+		outcomes := runner.Map(nTrials, sc.Par, func(trial int) outcome {
+			return run(policy, uint64(trial+1))
+		})
 		rounds := metrics.NewSummary()
 		identified := 0
 		honestBlamed := 0
 		overhead := metrics.NewSummary()
-		for trial := 0; trial < nTrials; trial++ {
-			o := run(policy, uint64(trial+1))
+		for _, o := range outcomes {
 			rounds.Add(float64(o.rounds))
 			if o.identified {
 				identified++

@@ -50,9 +50,10 @@ func (*phaseTracer) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []b
 // the k-sized DC-net clique, the depth-d diffusion tree, and the final
 // flood — reporting when each phase ran, how many messages it used, and
 // how much of the network it had covered when it ended.
-func E12PhaseTrace(quick bool) *metrics.Table {
+// E12 is a single trace, not a trial family; it runs sequentially and
+// ignores the scenario's size and parallelism knobs.
+func E12PhaseTrace(Scenario) *metrics.Table {
 	const n, deg, k, d = 100, 6, 3, 2 // Fig. 5 uses k=3, d=2
-	_ = quick
 	t := metrics.NewTable(
 		"E12 — one broadcast through the three phases (N=100, k=3, d=2; Fig. 5 parameters)",
 		"phase", "first msg", "last msg", "messages", "coverage at phase end",

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dissent"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -24,26 +25,31 @@ import (
 // Absolute numbers depend on link latency — Dissent's 30 s figure comes
 // from WAN deployments with per-hop work; the reproduction target is the
 // *linear* scaling and the contrast with the O(1)-depth DC-net round.
-func E13DissentStartup(quick bool) *metrics.Table {
+func E13DissentStartup(sc Scenario) *metrics.Table {
 	t := metrics.NewTable(
 		"E13 — Dissent-style announcement startup vs group size (per-hop 250 ms WAN)",
 		"group size", "shuffle pipeline latency", "messages", "dc-net announce round (paper)", "scaling",
 	)
 	sizes := []int{4, 8, 12, 16}
-	if quick {
+	if sc.Quick {
 		sizes = []int{4, 12}
 	}
 	const hop = 250 * time.Millisecond // WAN-ish, matching Dissent's setting
-	var base time.Duration
-	for _, n := range sizes {
-		lat, msgs := dissentRound(n, hop)
-		if base == 0 {
-			base = lat
-		}
+	type sample struct {
+		lat  time.Duration
+		msgs int64
+	}
+	samples := runner.Map(len(sizes), sc.Par, func(i int) sample {
+		lat, msgs := dissentRound(sizes[i], hop)
+		return sample{lat: lat, msgs: msgs}
+	})
+	base := samples[0].lat // scaling is relative to the smallest group
+	for i, n := range sizes {
 		// The DC-net announce round: shares, S-partials, T-partials —
 		// three message depths regardless of group size.
 		dcLat := 3 * hop
-		t.AddRow(n, fmtDuration(lat), msgs, fmtDuration(dcLat), float64(lat)/float64(base))
+		t.AddRow(n, fmtDuration(samples[i].lat), samples[i].msgs, fmtDuration(dcLat),
+			float64(samples[i].lat)/float64(base))
 	}
 	t.AddNote("shuffle latency grows linearly (serial pipeline); the DC-net announcement is constant-depth")
 	t.AddNote("Dissent's published 30 s at g=8–12 includes per-hop crypto/proof work our simulation prices at the link only")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dcnet"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -65,22 +66,34 @@ func (h *memberHandler) HandleTimer(ctx proto.Context, payload any) {
 // E2DCNetComplexity verifies §V-A's "first phase incurs O(k²) messages
 // periodically": one Fig.-4 round of a group of size g exchanges exactly
 // 3·g·(g−1) messages (plus g·(g−1) commitments under PolicyBlame).
-func E2DCNetComplexity(quick bool) *metrics.Table {
+func E2DCNetComplexity(sc Scenario) *metrics.Table {
 	t := metrics.NewTable(
 		"E2 — DC-net messages per round vs group size (paper: O(k²))",
 		"group size g", "rounds", "msgs/round", "3·g·(g−1)", "with commitments", "4·g·(g−1)",
 	)
 	sizes := []int{4, 6, 8, 10, 14, 19}
-	if quick {
+	if sc.Quick {
 		sizes = []int{4, 8, 19}
 	}
-	rounds := trials(quick, 3, 10)
-	for _, g := range sizes {
+	rounds := sc.trials(3, 10)
+	// One trial per group size; each runs its plain and blame groups.
+	type sample struct {
+		done                    int
+		perRound, perRoundBlame float64
+	}
+	samples := runner.Map(len(sizes), sc.Par, func(i int) sample {
+		g := sizes[i]
 		msgs, _, done := dcGroup(g, dcnet.ModeFixed, dcnet.PolicyNone, rounds, uint64(g), nil)
 		msgsBlame, _, doneBlame := dcGroup(g, dcnet.ModeFixed, dcnet.PolicyBlame, rounds, uint64(g), nil)
-		perRound := float64(msgs) / float64(done)
-		perRoundBlame := float64(msgsBlame) / float64(doneBlame)
-		t.AddRow(g, done, perRound, 3*g*(g-1), perRoundBlame, 4*g*(g-1))
+		return sample{
+			done:          done,
+			perRound:      float64(msgs) / float64(done),
+			perRoundBlame: float64(msgsBlame) / float64(doneBlame),
+		}
+	})
+	for i, g := range sizes {
+		s := samples[i]
+		t.AddRow(g, s.done, s.perRound, 3*g*(g-1), s.perRoundBlame, 4*g*(g-1))
 	}
 	t.AddNote("group sizes span the paper's k ∈ [4,10] band [k, 2k−1]")
 	return t

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"repro/flexnet"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 // E3Landscape regenerates Fig. 1 — the privacy–performance landscape —
@@ -12,11 +14,12 @@ import (
 // (point 3 in the figure), a network-wide DC-net is private and
 // unusably expensive (point 1), and the composed protocol sweeps the
 // adjustable middle (point 2) as k and d grow.
-func E3Landscape(quick bool) *metrics.Table {
-	const n, deg, f = 300, 8, 0.2
-	nTrials := trials(quick, 4, 25)
+func E3Landscape(sc Scenario) *metrics.Table {
+	n, deg := sc.size(300), sc.degree(8)
+	const f = 0.2
+	nTrials := sc.trials(4, 25)
 	t := metrics.NewTable(
-		"E3 — privacy–performance landscape (N=300, adversary f=0.2)",
+		fmt.Sprintf("E3 — privacy–performance landscape (N=%d, adversary f=0.2)", n),
 		"protocol", "params", "messages", "coverage time", "P(deanon)", "anonymity set",
 	)
 
@@ -32,12 +35,11 @@ func E3Landscape(quick bool) *metrics.Table {
 		{"flexnet", "k=7 d=4", flexnet.SimConfig{Protocol: flexnet.ProtocolFlexnet, K: 7, D: 4}},
 		{"flexnet", "k=10 d=5", flexnet.SimConfig{Protocol: flexnet.ProtocolFlexnet, K: 10, D: 5}},
 	}
+	type sample struct {
+		msgs, cover, hit, anon float64
+	}
 	for _, v := range variants {
-		msgs := metrics.NewSummary()
-		cover := metrics.NewSummary()
-		var hit float64
-		anon := metrics.NewSummary()
-		for trial := 0; trial < nTrials; trial++ {
+		samples := runner.Map(nTrials, sc.Par, func(trial int) sample {
 			cfg := v.cfg
 			cfg.N, cfg.Degree, cfg.Seed = n, deg, uint64(trial+1)
 			cfg.AdversaryFraction = f
@@ -45,20 +47,30 @@ func E3Landscape(quick bool) *metrics.Table {
 			if err != nil {
 				panic(err)
 			}
-			msgs.Add(float64(res.TotalMessages))
-			cover.Add(float64(res.TimeToCoverage))
+			s := sample{msgs: float64(res.TotalMessages), cover: float64(res.TimeToCoverage)}
 			if cfg.Protocol == flexnet.ProtocolFlexnet {
 				// Group attack: success probability 1/|honest set|.
 				if res.GroupAttackHit && res.GroupSuspectSet > 0 {
-					hit += 1 / float64(res.GroupSuspectSet)
+					s.hit = 1 / float64(res.GroupSuspectSet)
 				}
-				anon.Add(float64(res.GroupSuspectSet))
+				s.anon = float64(res.GroupSuspectSet)
 			} else {
 				if res.FirstSpyCorrect {
-					hit++
+					s.hit = 1
 				}
-				anon.Add(1)
+				s.anon = 1
 			}
+			return s
+		})
+		msgs := metrics.NewSummary()
+		cover := metrics.NewSummary()
+		var hit float64
+		anon := metrics.NewSummary()
+		for _, s := range samples {
+			msgs.Add(s.msgs)
+			cover.Add(s.cover)
+			hit += s.hit
+			anon.Add(s.anon)
 		}
 		t.AddRow(v.name, v.params, msgs.Mean(),
 			fmtDuration(time.Duration(cover.Mean())),
@@ -66,7 +78,7 @@ func E3Landscape(quick bool) *metrics.Table {
 	}
 	// Network-wide DC-net: analytic, the simulation would be a memory
 	// hog with no extra information (3·N·(N−1) messages per round).
-	t.AddRow("dc-net (whole network)", "g=300", 3*n*(n-1), "3 hops/round", 0.0, n-int(f*n))
+	t.AddRow("dc-net (whole network)", fmt.Sprintf("g=%d", n), 3*n*(n-1), "3 hops/round", 0.0, n-int(f*float64(n)))
 	t.AddNote("dc-net row is analytic: 3·N·(N−1) msgs/round, anonymity = honest member count")
 	t.AddNote("flexnet P(deanon) is the group attack's expected success 1/|honest group|; flood/dandelion use first-spy")
 	return t

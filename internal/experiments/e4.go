@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/flood"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -16,29 +18,33 @@ import (
 // adversary controlling a small fraction of nodes deanonymizes the
 // originator with high probability, using first-spy and arrival-time
 // triangulation.
-func E4FloodDeanonymization(quick bool) *metrics.Table {
-	const n, deg = 1000, 8
-	nTrials := trials(quick, 5, 40)
+func E4FloodDeanonymization(sc Scenario) *metrics.Table {
+	n, deg := sc.size(1000), sc.degree(8)
+	nTrials := sc.trials(5, 40)
 	t := metrics.NewTable(
-		"E4 — deanonymizing plain flooding (N=1000, 8-regular)",
+		fmt.Sprintf("E4 — deanonymizing plain flooding (N=%d, %d-regular)", n, deg),
 		"adversary f", "first-spy precision", "timing precision (const lat.)", "timing precision (jittered lat.)", "anonymity set (jittered)",
 	)
 	fractions := []float64{0.05, 0.1, 0.2, 0.3, 0.5}
-	if quick {
+	if sc.Quick {
 		fractions = []float64{0.1, 0.2}
 	}
+	// The overlay and the timing estimator are shared read-only across
+	// all (parallel) trials.
 	g := regular(n, deg, 99)
 	est := &adversary.Timing{Topo: g, HopLatency: 50 * time.Millisecond}
 
+	type sample struct {
+		src                    proto.NodeID
+		firstSpy               proto.NodeID
+		timingConst, timingJit proto.NodeID
+		anonSet                float64
+	}
 	for _, f := range fractions {
-		fs := &adversary.Aggregate{}
-		tmConst := &adversary.Aggregate{}
-		tmJitter := &adversary.Aggregate{}
-		anon := metrics.NewSummary()
-		for trial := 0; trial < nTrials; trial++ {
+		samples := runner.Map(nTrials, sc.Par, func(trial int) sample {
 			rng := rand.New(rand.NewPCG(uint64(trial+1), uint64(f*1000)))
 			corrupted := adversary.SampleCorrupted(n, f, rng)
-
+			var s sample
 			for _, jitter := range []bool{false, true} {
 				obs := adversary.NewObserver(corrupted)
 				var lat sim.LatencyModel = sim.ConstLatency(50 * time.Millisecond)
@@ -47,7 +53,8 @@ func E4FloodDeanonymization(quick bool) *metrics.Table {
 				}
 				net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: lat})
 				net.AddTap(obs)
-				net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+				shared := flood.NewShared(n)
+				net.SetHandlers(func(id proto.NodeID) proto.Handler { return flood.NewAt(shared, id) })
 				net.Start()
 				srcRNG := rand.New(rand.NewPCG(uint64(trial+1), uint64(f*1000)+7))
 				src := pickHonestSource(n, obs.Corrupted, srcRNG)
@@ -65,15 +72,27 @@ func E4FloodDeanonymization(quick bool) *metrics.Table {
 					}
 				}
 				suspect, anonSet := est.Estimate(observations, honest)
+				s.src = src
 				if jitter {
-					tmJitter.AddExact(src, suspect)
-					anon.Add(float64(anonSet))
+					s.timingJit = suspect
+					s.anonSet = float64(anonSet)
 				} else {
-					fs.AddExact(src, adversary.FirstSpy(observations))
-					tmConst.AddExact(src, suspect)
+					s.firstSpy = adversary.FirstSpy(observations)
+					s.timingConst = suspect
 				}
 			}
-			_ = rng
+			return s
+		})
+
+		fs := &adversary.Aggregate{}
+		tmConst := &adversary.Aggregate{}
+		tmJitter := &adversary.Aggregate{}
+		anon := metrics.NewSummary()
+		for _, s := range samples {
+			fs.AddExact(s.src, s.firstSpy)
+			tmConst.AddExact(s.src, s.timingConst)
+			tmJitter.AddExact(s.src, s.timingJit)
+			anon.Add(s.anonSet)
 		}
 		t.AddRow(f, fs.Precision(), tmConst.Precision(), tmJitter.Precision(), anon.Mean())
 	}

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/flexnet"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 // E5DandelionVsFlexnet reproduces the decay claim of §III-B —
@@ -11,24 +14,28 @@ import (
 // fractions" — and the composed protocol's answer: a cryptographic
 // k-anonymity floor that holds at every adversary fraction (P(deanon)
 // bounded by 1/ℓ over the ℓ honest group members).
-func E5DandelionVsFlexnet(quick bool) *metrics.Table {
-	const n, deg, k = 500, 8, 5
-	nTrials := trials(quick, 4, 30)
+func E5DandelionVsFlexnet(sc Scenario) *metrics.Table {
+	n, deg := sc.size(500), sc.degree(8)
+	const k = 5
+	nTrials := sc.trials(4, 30)
 	t := metrics.NewTable(
-		"E5 — adversary fraction sweep: Dandelion decay vs flexnet floor (N=500, k=5)",
+		fmt.Sprintf("E5 — adversary fraction sweep: Dandelion decay vs flexnet floor (N=%d, k=%d)", n, k),
 		"adversary f", "dandelion P(deanon)", "flexnet P(deanon)", "flexnet anonymity set", "1/l floor",
 	)
 	fractions := []float64{0.05, 0.15, 0.25, 0.35, 0.5, 0.6}
-	if quick {
+	if sc.Quick {
 		fractions = []float64{0.15, 0.5}
 	}
+	type sample struct {
+		dHit, xHit float64
+		anon       float64
+		floor      float64
+		hasFloor   bool
+	}
 	for _, f := range fractions {
-		var dHit float64
-		var xHit float64
-		anon := metrics.NewSummary()
-		floor := metrics.NewSummary()
-		for trial := 0; trial < nTrials; trial++ {
+		samples := runner.Map(nTrials, sc.Par, func(trial int) sample {
 			seed := uint64(trial*31 + int(f*100) + 1)
+			var s sample
 			dres, err := flexnet.Simulate(flexnet.SimConfig{
 				N: n, Degree: deg, Protocol: flexnet.ProtocolDandelion,
 				Seed: seed, AdversaryFraction: f,
@@ -37,7 +44,7 @@ func E5DandelionVsFlexnet(quick bool) *metrics.Table {
 				panic(err)
 			}
 			if dres.FirstSpyCorrect {
-				dHit++
+				s.dHit = 1
 			}
 			xres, err := flexnet.Simulate(flexnet.SimConfig{
 				N: n, Degree: deg, Protocol: flexnet.ProtocolFlexnet,
@@ -47,11 +54,24 @@ func E5DandelionVsFlexnet(quick bool) *metrics.Table {
 				panic(err)
 			}
 			if xres.GroupAttackHit && xres.GroupSuspectSet > 0 {
-				xHit += 1 / float64(xres.GroupSuspectSet)
+				s.xHit = 1 / float64(xres.GroupSuspectSet)
 			}
-			anon.Add(float64(xres.GroupSuspectSet))
+			s.anon = float64(xres.GroupSuspectSet)
 			if xres.GroupSuspectSet > 0 {
-				floor.Add(1 / float64(xres.GroupSuspectSet))
+				s.floor = 1 / float64(xres.GroupSuspectSet)
+				s.hasFloor = true
+			}
+			return s
+		})
+		var dHit, xHit float64
+		anon := metrics.NewSummary()
+		floor := metrics.NewSummary()
+		for _, s := range samples {
+			dHit += s.dHit
+			xHit += s.xHit
+			anon.Add(s.anon)
+			if s.hasFloor {
+				floor.Add(s.floor)
 			}
 		}
 		t.AddRow(f, dHit/float64(nTrials), xHit/float64(nTrials), anon.Mean(), floor.Mean())

@@ -6,6 +6,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -33,8 +34,8 @@ func (*tokenTracker) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []
 // P(h) = n_h/N(D), collapsing every level to 1/N(D). We estimate P(h)
 // empirically on a line and a 3-regular tree and report the MAP success
 // next to the 1/n ideal.
-func E6Obfuscation(quick bool) *metrics.Table {
-	nTrials := trials(quick, 300, 2500)
+func E6Obfuscation(sc Scenario) *metrics.Table {
+	nTrials := sc.trials(300, 2500)
 	t := metrics.NewTable(
 		"E6 — adaptive diffusion source obfuscation (paper target: P(detect) ≈ 1/n)",
 		"graph", "D", "ball size n", "ideal 1/n", "MAP P(detect)", "P(center=src)",
@@ -67,19 +68,24 @@ func E6Obfuscation(quick bool) *metrics.Table {
 		ballSize := adaptive.BallSize(r.deg, r.d)
 		distCounts := make([]int, r.d+2)
 		centerHits := 0
-		for trial := 0; trial < nTrials; trial++ {
+		// One sample per trial: the source's distance from the final
+		// token holder (the centre of the infected ball).
+		hs := runner.Map(nTrials, sc.Par, func(trial int) int {
 			tracker := &tokenTracker{last: proto.NoNode}
 			net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(time.Millisecond)})
 			net.AddTap(tracker)
-			net.SetHandlers(func(proto.NodeID) proto.Handler {
-				return adaptive.New(adaptive.Config{D: r.d, RoundInterval: 100 * time.Millisecond, TreeDegree: r.deg})
+			shared := adaptive.NewShared(g.N())
+			net.SetHandlers(func(id proto.NodeID) proto.Handler {
+				return adaptive.NewAt(adaptive.Config{D: r.d, RoundInterval: 100 * time.Millisecond, TreeDegree: r.deg}, shared, id)
 			})
 			net.Start()
 			if _, err := net.Originate(r.src, []byte{byte(trial), byte(trial >> 8)}); err != nil {
 				panic(err)
 			}
 			net.RunUntil(time.Minute)
-			h := g.BFS(tracker.last)[r.src]
+			return g.BFS(tracker.last)[r.src]
+		})
+		for _, h := range hs {
 			if h == 0 {
 				centerHits++
 			}

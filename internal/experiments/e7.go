@@ -6,6 +6,7 @@ import (
 	"repro/internal/dcnet"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -17,10 +18,12 @@ import (
 // then cost 8-byte slots instead of full-size ones. We compare bytes per
 // round for fixed vs announce mode across activity rates, and record the
 // collision rate that the CRC + backoff machinery resolves.
-func E7AnnounceOptimization(quick bool) *metrics.Table {
+func E7AnnounceOptimization(sc Scenario) *metrics.Table {
 	const g = 8
 	const slot = 512
-	roundsToRun := trials(quick, 30, 150)
+	// pick, not trials: this is the number of DC-net rounds measured,
+	// not a repetition count a -trials override should touch.
+	roundsToRun := sc.pick(30, 150)
 	t := metrics.NewTable(
 		"E7 — announcement-round optimization (g=8, payload 500 B)",
 		"mode", "offered load (msgs/round)", "bytes/round", "collisions", "delivered", "savings vs fixed",
@@ -97,9 +100,15 @@ func E7AnnounceOptimization(quick bool) *metrics.Table {
 	}
 
 	loads := []float64{0, 0.1, 0.5}
-	for _, load := range loads {
-		fixed := run(dcnet.ModeFixed, load, 11)
-		ann := run(dcnet.ModeAnnounce, load, 11)
+	type sample struct{ fixed, ann result }
+	samples := runner.Map(len(loads), sc.Par, func(i int) sample {
+		return sample{
+			fixed: run(dcnet.ModeFixed, loads[i], 11),
+			ann:   run(dcnet.ModeAnnounce, loads[i], 11),
+		}
+	})
+	for i, load := range loads {
+		fixed, ann := samples[i].fixed, samples[i].ann
 		t.AddRow("fixed", load, fixed.bytesPerRound, fixed.collisions, fixed.delivered, 1.0)
 		t.AddRow("announce", load, ann.bytesPerRound, ann.collisions, ann.delivered,
 			fixed.bytesPerRound/maxf(ann.bytesPerRound, 1))

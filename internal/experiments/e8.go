@@ -15,8 +15,11 @@ import (
 // groups per node restores uniformity. We verify both analytically
 // (Directory.OriginPosterior) and empirically, then sweep larger
 // populations.
-func E8OverlapGroups(quick bool) *metrics.Table {
-	samples := trials(quick, 20000, 200000)
+// E8 stays sequential under the runner framework: its inner loop is not
+// a family of independent seeded networks but one Monte-Carlo stream
+// drawn from a single RNG, so splitting it would change the stream.
+func E8OverlapGroups(sc Scenario) *metrics.Table {
+	samples := sc.trials(20000, 200000)
 	t := metrics.NewTable(
 		"E8 — overlapping groups and origin probability (§IV-C example)",
 		"scenario", "member", "analytic P(origin)", "empirical P(origin)", "uniform target",

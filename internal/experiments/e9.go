@@ -6,6 +6,7 @@ import (
 
 	"repro/flexnet"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 // E9Delivery quantifies the §III-A drawback that motivates Phase 3:
@@ -13,18 +14,20 @@ import (
 // nodes … failures to deliver them to all nodes leads to unfairness".
 // Adaptive diffusion alone covers only its final ball; the composed
 // protocol, Dandelion and flooding always reach every node.
-func E9Delivery(quick bool) *metrics.Table {
-	const n, deg = 1000, 8
-	nTrials := trials(quick, 3, 15)
+func E9Delivery(sc Scenario) *metrics.Table {
+	n, deg := sc.size(1000), sc.degree(8)
+	nTrials := sc.trials(3, 15)
 	t := metrics.NewTable(
-		"E9 — delivery ratio (N=1000): adaptive-only vs delivery-guaranteed protocols",
+		fmt.Sprintf("E9 — delivery ratio (N=%d): adaptive-only vs delivery-guaranteed protocols", n),
 		"protocol", "D", "mean delivery ratio", "min", "full-coverage runs",
 	)
 
+	type sample struct {
+		ratio float64
+		full  bool
+	}
 	row := func(p flexnet.Protocol, d int) {
-		ratios := metrics.NewSummary()
-		full := 0
-		for trial := 0; trial < nTrials; trial++ {
+		samples := runner.Map(nTrials, sc.Par, func(trial int) sample {
 			res, err := flexnet.Simulate(flexnet.SimConfig{
 				N: n, Degree: deg, Protocol: p, K: 5, D: d,
 				Seed:        uint64(trial*7 + d + 1),
@@ -33,9 +36,16 @@ func E9Delivery(quick bool) *metrics.Table {
 			if err != nil {
 				panic(err)
 			}
-			ratio := float64(res.Delivered) / float64(res.N)
-			ratios.Add(ratio)
-			if res.Delivered == res.N {
+			return sample{
+				ratio: float64(res.Delivered) / float64(res.N),
+				full:  res.Delivered == res.N,
+			}
+		})
+		ratios := metrics.NewSummary()
+		full := 0
+		for _, s := range samples {
+			ratios.Add(s.ratio)
+			if s.full {
 				full++
 			}
 		}

@@ -1,11 +1,17 @@
 // Package experiments regenerates every quantitative and qualitative
 // result of the paper's evaluation (see DESIGN.md §3 for the experiment
-// index E1–E12 and EXPERIMENTS.md for measured-vs-paper numbers). Each
+// index E1–E14 and EXPERIMENTS.md for measured-vs-paper numbers). Each
 // experiment returns a metrics.Table so that cmd/flexsim, the benchmarks
 // in bench_test.go, and EXPERIMENTS.md all print identical rows.
 //
-// The quick flag trades trial counts for runtime (used by `go test
-// -bench` and CI); published numbers come from quick=false.
+// Experiments take a Scenario: quick mode trades trial counts for
+// runtime (used by `go test -bench` and CI; published numbers come from
+// full mode), N/Degree resize the overlay where the experiment is
+// network-scale, and Par sets the trial worker-pool size. Trials are
+// independent seeded networks executed through internal/runner — per
+// -trial seeds derive from the trial index and samples reduce in
+// trial-index order, so every table is bit-identical at any Par (guarded
+// by TestParallelDeterminism).
 package experiments
 
 import (
@@ -18,30 +24,96 @@ import (
 	"repro/internal/topology"
 )
 
+// Scenario configures one experiment run.
+type Scenario struct {
+	// Quick trades trial counts for runtime (CI/benchmark mode).
+	Quick bool
+	// N overrides the overlay size on network-scale experiments
+	// (e1, e3–e5, e9, e10, a2, e14); 0 keeps each experiment's paper
+	// default. Experiments bound to special substrates (line/tree
+	// obfuscation runs, DC-net group sweeps, the Fig.-5 trace) ignore it.
+	N int
+	// Degree overrides the overlay degree on the same experiments.
+	Degree int
+	// Trials overrides the per-mode trial count; 0 keeps the default.
+	Trials int
+	// Par is the trial worker-pool size: 0 means GOMAXPROCS, 1 forces
+	// the sequential loop. Tables are identical at every setting.
+	Par int
+}
+
+// Quick returns the CI scenario (fewer trials, default size).
+func Quick() Scenario { return Scenario{Quick: true} }
+
+// Full returns the full-trial scenario behind published numbers.
+func Full() Scenario { return Scenario{} }
+
+// trials resolves the trial count for the scenario mode.
+func (sc Scenario) trials(quickN, fullN int) int {
+	if sc.Trials > 0 {
+		return sc.Trials
+	}
+	if sc.Quick {
+		return quickN
+	}
+	return fullN
+}
+
+// pick resolves a quick/full quantity that is not the experiment's
+// primary trial count, so a -trials override does not distort it
+// (e.g. E10's transaction and block counts).
+func (sc Scenario) pick(quickN, fullN int) int {
+	if sc.Quick {
+		return quickN
+	}
+	return fullN
+}
+
+// size resolves the overlay size against an experiment default.
+func (sc Scenario) size(def int) int {
+	if sc.N > 0 {
+		return sc.N
+	}
+	return def
+}
+
+// degree resolves the overlay degree against an experiment default.
+func (sc Scenario) degree(def int) int {
+	if sc.Degree > 0 {
+		return sc.Degree
+	}
+	return def
+}
+
 // Experiment is a named, runnable reproduction of one paper artifact.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(quick bool) *metrics.Table
+	Run   func(sc Scenario) *metrics.Table
+	// Timed marks experiments whose tables include wall-clock columns
+	// (events/s); those cells legitimately differ run to run and are
+	// excluded from the bit-identical determinism guarantee.
+	Timed bool
 }
 
 // all is the experiment index, built once at package init.
 var all = [...]Experiment{
-	{"e1", "§V-A message counts: adaptive diffusion vs flood-and-prune (N=1000)", E1Messages},
-	{"e2", "§V-A Phase-1 message complexity O(k²)", E2DCNetComplexity},
-	{"e3", "Fig. 1 privacy–performance landscape", E3Landscape},
-	{"e4", "Fig. 2 / [12]: deanonymizing plain flooding", E4FloodDeanonymization},
-	{"e5", "§III-B: Dandelion decay vs flexnet k-anonymity floor", E5DandelionVsFlexnet},
-	{"e6", "§V-B [17]: adaptive diffusion perfect obfuscation", E6Obfuscation},
-	{"e7", "§V-A: announcement-round optimization", E7AnnounceOptimization},
-	{"e8", "§IV-C: overlapping groups and origin probabilities", E8OverlapGroups},
-	{"e9", "§III-A: delivery guarantees", E9Delivery},
-	{"e10", "§II: broadcast latency and miner fairness", E10MinerFairness},
-	{"e11", "§V-C: blame protocol vs dissolve policy", E11Blame},
-	{"e12", "Fig. 5: three-phase trace", E12PhaseTrace},
-	{"e13", "§III-B: Dissent announcement startup scaling", E13DissentStartup},
-	{"a1", "ablation: derived α(ρ,h) vs naive pass probabilities", A1AlphaAblation},
-	{"a2", "parameter advisor: (k,d) for a target privacy/latency budget", A2ParameterAdvisor},
+	{ID: "e1", Title: "§V-A message counts: adaptive diffusion vs flood-and-prune (N=1000)", Run: E1Messages},
+	{ID: "e2", Title: "§V-A Phase-1 message complexity O(k²)", Run: E2DCNetComplexity},
+	{ID: "e3", Title: "Fig. 1 privacy–performance landscape", Run: E3Landscape},
+	{ID: "e4", Title: "Fig. 2 / [12]: deanonymizing plain flooding", Run: E4FloodDeanonymization},
+	{ID: "e5", Title: "§III-B: Dandelion decay vs flexnet k-anonymity floor", Run: E5DandelionVsFlexnet},
+	{ID: "e6", Title: "§V-B [17]: adaptive diffusion perfect obfuscation", Run: E6Obfuscation},
+	{ID: "e7", Title: "§V-A: announcement-round optimization", Run: E7AnnounceOptimization},
+	{ID: "e8", Title: "§IV-C: overlapping groups and origin probabilities", Run: E8OverlapGroups},
+	{ID: "e9", Title: "§III-A: delivery guarantees", Run: E9Delivery},
+	{ID: "e10", Title: "§II: broadcast latency and miner fairness", Run: E10MinerFairness},
+	{ID: "e11", Title: "§V-C: blame protocol vs dissolve policy", Run: E11Blame},
+	{ID: "e12", Title: "Fig. 5: three-phase trace", Run: E12PhaseTrace},
+	{ID: "e13", Title: "§III-B: Dissent announcement startup scaling", Run: E13DissentStartup},
+	{ID: "e14", Title: "scale sweep: flood + adaptive diffusion at N=1k/10k/100k", Run: E14ScaleSweep, Timed: true},
+	{ID: "a1", Title: "ablation: derived α(ρ,h) vs naive pass probabilities", Run: A1AlphaAblation},
+	{ID: "a2", Title: "parameter advisor: (k,d) for a target privacy/latency budget", Run: A2ParameterAdvisor},
 }
 
 // All returns the experiments in index order. The slice is shared; the
@@ -67,14 +139,6 @@ func regular(n, d int, seed uint64) *topology.Graph {
 		panic(fmt.Sprintf("experiments: building %d-regular graph: %v", d, err))
 	}
 	return g
-}
-
-// trials picks trial counts by mode.
-func trials(quick bool, quickN, fullN int) int {
-	if quick {
-		return quickN
-	}
-	return fullN
 }
 
 // pickHonestSource draws a node outside the corrupted set.

@@ -16,7 +16,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tbl := e.Run(true)
+			tbl := e.Run(Quick())
 			if tbl == nil || len(tbl.Rows) == 0 {
 				t.Fatalf("%s returned an empty table", e.ID)
 			}
@@ -41,7 +41,7 @@ func TestE1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	tbl := E1Messages(true)
+	tbl := E1Messages(Quick())
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("E1 rows = %d", len(tbl.Rows))
 	}
@@ -52,5 +52,45 @@ func TestE1Shape(t *testing.T) {
 	// adaptive > flood (the paper's 12,500 vs 7,000 shape).
 	if tbl.Rows[1][5] <= "1" && !strings.HasPrefix(tbl.Rows[1][5], "1.") {
 		t.Errorf("adaptive/flood ratio = %s, want > 1", tbl.Rows[1][5])
+	}
+}
+
+// TestScenarioOverrides exercises the size-parameterized path: E1 at
+// N=200, d=6 must match its own flood formula at that size.
+func TestScenarioOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl := E1Messages(Scenario{Quick: true, N: 200, Degree: 6, Trials: 2})
+	// 2E − (N−1) = 1200 − 199 = 1001 messages.
+	if !strings.HasPrefix(tbl.Rows[0][2], "1001") {
+		t.Errorf("flood messages at N=200 d=6 = %s, want 1001", tbl.Rows[0][2])
+	}
+	if !strings.Contains(tbl.Title, "200 peers") {
+		t.Errorf("title not size-parameterized: %s", tbl.Title)
+	}
+}
+
+// TestParallelDeterminism is the regression guard for the trial runner:
+// every experiment's rendered table must be byte-identical between the
+// sequential loop (-par 1) and a saturated worker pool, regardless of
+// scheduling. Experiments with wall-clock columns (Timed) are excluded
+// by design.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; run without -short")
+	}
+	for _, e := range All() {
+		if e.Timed {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			seq := e.Run(Scenario{Quick: true, Par: 1}).Render()
+			par := e.Run(Scenario{Quick: true, Par: 4}).Render()
+			if seq != par {
+				t.Errorf("%s table differs between -par 1 and -par 4:\n--- sequential\n%s\n--- parallel\n%s", e.ID, seq, par)
+			}
+		})
 	}
 }

@@ -12,6 +12,7 @@ package flood
 
 import (
 	"repro/internal/proto"
+	"repro/internal/visited"
 	"repro/internal/wire"
 )
 
@@ -50,21 +51,82 @@ func RegisterMessages(c *wire.Codec) {
 	c.Register(TypeData, func() wire.Encodable { return new(DataMsg) })
 }
 
+// Shared is network-wide flood state sized to the node count: one
+// epoch-stamped dense visited vector per in-flight message (replacing
+// the per-node seen-set maps) plus a trial-scoped pool of DataMsg relay
+// allocations. All engines of one simulated network share one Shared;
+// trial loops Reset it between sequentially simulated networks so that
+// steady-state operation allocates nothing.
+//
+// Reset reclaims every pooled relay message, so it must only be called
+// once the network that sent them is drained or discarded. A Shared is
+// not safe for concurrent use: under the parallel trial runner each
+// worker goroutine owns its own Shared, as it owns its own sim.Network.
+type Shared struct {
+	seen  *visited.Table[struct{}]
+	relay *visited.Pool[*DataMsg]
+}
+
+// NewShared returns shared flood state for node IDs in [0, n).
+func NewShared(n int) *Shared {
+	return &Shared{
+		seen: visited.NewTable[struct{}](n),
+		relay: visited.NewPool(
+			func() *DataMsg { return new(DataMsg) },
+			// Do not pin trial payloads through the pool.
+			func(m *DataMsg) { m.Payload = nil },
+		),
+	}
+}
+
+// N returns the node count the state was sized for.
+func (s *Shared) N() int { return s.seen.N() }
+
+// Reset invalidates all seen-state and reclaims pooled relay messages
+// for the next trial. The previous trial's network must be drained.
+func (s *Shared) Reset() {
+	s.seen.Reset()
+	s.relay.Reset()
+}
+
 // Engine is the reusable flood-and-prune core: a seen-set plus forwarding
 // rules. It holds no reference to a Context, so one Engine can serve a
 // node across its entire lifetime.
+//
+// Two seen-set representations exist. The standalone form (NewEngine)
+// owns a map — right for long-lived nodes handling an open-ended message
+// stream (internal/node, the TCP runtime). The dense form (NewEngineAt)
+// shares epoch-stamped visited vectors with every other engine of the
+// network through a Shared — right for simulation trials, where it cuts
+// per-trial handler allocations to zero in steady state.
 type Engine struct {
-	seen map[proto.MsgID]struct{}
+	seen   map[proto.MsgID]struct{} // standalone mode; nil in dense mode
+	shared *Shared                  // dense mode; nil in standalone mode
+	self   proto.NodeID
 }
 
-// NewEngine returns an empty engine.
+// NewEngine returns an empty standalone engine.
 func NewEngine() *Engine {
 	return &Engine{seen: make(map[proto.MsgID]struct{})}
+}
+
+// NewEngineAt returns an engine for node self backed by shared dense
+// state. Engines in this mode hold no per-node state at all and are
+// reusable across trials (Reset the Shared between trials).
+func NewEngineAt(shared *Shared, self proto.NodeID) *Engine {
+	if int(self) < 0 || int(self) >= shared.N() {
+		panic("flood: NewEngineAt node out of range")
+	}
+	return &Engine{shared: shared, self: self}
 }
 
 // Seen reports whether the payload was already seen (and hence pruned on
 // re-arrival).
 func (e *Engine) Seen(id proto.MsgID) bool {
+	if e.shared != nil {
+		vec := e.shared.seen.Lookup(id)
+		return vec != nil && vec.Has(e.self)
+	}
 	_, ok := e.seen[id]
 	return ok
 }
@@ -73,6 +135,9 @@ func (e *Engine) Seen(id proto.MsgID) bool {
 // the id was new. Phase-2 infection uses this so that the later flood
 // prunes at already-infected nodes.
 func (e *Engine) MarkSeen(id proto.MsgID) bool {
+	if e.shared != nil {
+		return e.shared.seen.Vec(id).Mark(e.self)
+	}
 	if _, ok := e.seen[id]; ok {
 		return false
 	}
@@ -96,11 +161,26 @@ func (e *Engine) HandleData(ctx proto.Context, from proto.NodeID, m *DataMsg) bo
 // except. The id must already be marked seen by the caller (this is the
 // entry point for originators and for Phase-3 leaf nodes).
 func (e *Engine) Spread(ctx proto.Context, id proto.MsgID, payload []byte, hops uint16, except ...proto.NodeID) {
-	e.forward(ctx, &DataMsg{ID: id, Hops: hops, Payload: payload}, except...)
+	out := e.newData()
+	out.ID, out.Hops, out.Payload = id, hops+1, payload
+	e.send(ctx, out, except)
+}
+
+// newData allocates a relay message — pooled in dense mode.
+func (e *Engine) newData() *DataMsg {
+	if e.shared != nil {
+		return e.shared.relay.Get()
+	}
+	return new(DataMsg)
 }
 
 func (e *Engine) forward(ctx proto.Context, m *DataMsg, except ...proto.NodeID) {
-	out := &DataMsg{ID: m.ID, Hops: m.Hops + 1, Payload: m.Payload}
+	out := e.newData()
+	out.ID, out.Hops, out.Payload = m.ID, m.Hops+1, m.Payload
+	e.send(ctx, out, except)
+}
+
+func (e *Engine) send(ctx proto.Context, out *DataMsg, except []proto.NodeID) {
 skip:
 	for _, nb := range ctx.Neighbors() {
 		for _, ex := range except {
@@ -120,8 +200,15 @@ type Protocol struct {
 
 var _ proto.Broadcaster = (*Protocol)(nil)
 
-// New returns a flood Protocol.
+// New returns a flood Protocol with a standalone seen-set.
 func New() *Protocol { return &Protocol{engine: NewEngine()} }
+
+// NewAt returns a flood Protocol for node self backed by shared dense
+// state (see NewEngineAt) — the handler-factory form simulation trials
+// use so one network's thousand handlers share one allocation.
+func NewAt(shared *Shared, self proto.NodeID) *Protocol {
+	return &Protocol{engine: NewEngineAt(shared, self)}
+}
 
 // Engine exposes the underlying engine (for composition in tests).
 func (p *Protocol) Engine() *Engine { return p.engine }

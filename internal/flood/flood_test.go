@@ -153,3 +153,76 @@ func TestFloodOnLineHopCount(t *testing.T) {
 		t.Errorf("messages = %d, want 5", net.TotalMessages())
 	}
 }
+
+// TestSharedEngineMatchesStandalone floods the same seeded network with
+// map-backed and dense shared-state engines and requires identical
+// message counts and coverage — the two representations must be
+// behaviorally indistinguishable.
+func TestSharedEngineMatchesStandalone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	g, err := topology.RandomRegular(150, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(factory func(id proto.NodeID) proto.Handler) (int64, int) {
+		net := sim.NewNetwork(g, sim.Options{Seed: 77})
+		net.SetHandlers(factory)
+		net.Start()
+		id, err := net.Originate(3, []byte("compare"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		return net.TotalMessages(), net.Delivered(id)
+	}
+
+	mapMsgs, mapCov := run(func(proto.NodeID) proto.Handler { return New() })
+	shared := NewShared(g.N())
+	denseMsgs, denseCov := run(func(id proto.NodeID) proto.Handler { return NewAt(shared, id) })
+	if mapMsgs != denseMsgs || mapCov != denseCov {
+		t.Errorf("dense (%d msgs, %d delivered) != standalone (%d msgs, %d delivered)",
+			denseMsgs, denseCov, mapMsgs, mapCov)
+	}
+}
+
+// TestSharedReuseAcrossTrials reuses one Shared over several sequential
+// networks: every trial must behave like the first (stale stamps from
+// the previous trial must miss) and the relay pool must actually
+// recycle DataMsgs.
+func TestSharedReuseAcrossTrials(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	g, err := topology.RandomRegular(80, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewShared(g.N())
+	want := int64(2*g.M() - (g.N() - 1))
+	for trial := 0; trial < 4; trial++ {
+		shared.Reset()
+		net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1)})
+		net.SetHandlers(func(id proto.NodeID) proto.Handler { return NewAt(shared, id) })
+		net.Start()
+		// Same payload every trial: the MsgID repeats, so trial 2+ only
+		// completes if the re-bound vector forgot trial 1's marks.
+		id, err := net.Originate(proto.NodeID(trial), []byte("reuse"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		if got := net.Delivered(id); got != g.N() {
+			t.Fatalf("trial %d: delivered %d, want %d", trial, got, g.N())
+		}
+		if got := net.TotalMessages(); got != want {
+			t.Fatalf("trial %d: messages %d, want %d", trial, got, want)
+		}
+	}
+	if shared.relay.Issued() == 0 {
+		t.Fatal("no pooled relay messages issued")
+	}
+	live := shared.relay.Issued()
+	shared.Reset()
+	if shared.relay.Free() < live {
+		t.Fatalf("Reset reclaimed %d of %d relay messages", shared.relay.Free(), live)
+	}
+}

@@ -1,0 +1,120 @@
+// Package runner executes experiment trials over a worker pool.
+//
+// Every experiment in this repository repeats the same shape: T
+// independent trials, each deriving its own seed from the trial index,
+// building its own seeded topology and sim.Network, and producing one
+// typed sample; the samples are then reduced into table rows. The
+// runner extracts that loop so the trials run on GOMAXPROCS-many
+// goroutines while the reduction stays bit-identical to the sequential
+// run:
+//
+//   - the trial body is a pure function of the trial index — seeds are
+//     derived from the index exactly as the sequential loops derived
+//     them, never from execution order;
+//   - each worker goroutine owns everything mutable a trial touches
+//     (its sim.Network, shared handler state, RNGs); cross-trial inputs
+//     (topologies, hash directories) are read-only;
+//   - samples land in a slice indexed by trial and are reduced in
+//     trial-index order after the pool drains, so floating-point
+//     accumulation order — and therefore every formatted table cell —
+//     is independent of scheduling and of the worker count.
+//
+// A panicking trial is re-panicked on the caller's goroutine after the
+// pool shuts down, preserving the experiments' panic-on-error idiom.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs body(0..trials-1) over a worker pool of size par (0 or
+// negative: GOMAXPROCS, 1: the plain sequential loop) and returns the
+// samples in trial-index order. body must be a pure function of the
+// trial index — deriving all randomness from it — and must not touch
+// state shared with other trials.
+func Map[S any](trials, par int, body func(trial int) S) []S {
+	if trials <= 0 {
+		return nil
+	}
+	par = Workers(par)
+	if par > trials {
+		par = trials
+	}
+	out := make([]S, trials)
+	if par == 1 {
+		for i := range out {
+			out[i] = body(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[TrialPanic]
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for panicked.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				runTrial(i, body, &out[i], &panicked)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+	return out
+}
+
+// Workers resolves a parallelism setting: values ≤ 0 mean GOMAXPROCS.
+func Workers(par int) int {
+	if par <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return par
+}
+
+// TrialPanic is re-panicked on the caller's goroutine when a trial
+// panics in a worker: Value carries the trial's original panic value
+// (so error types survive the pool boundary) and Stack the worker-side
+// stack captured at recovery, which would otherwise be lost.
+type TrialPanic struct {
+	Trial int
+	Value any
+	Stack []byte
+}
+
+func (p *TrialPanic) String() string {
+	return fmt.Sprintf("runner: trial %d panicked: %v\n\nworker stack:\n%s", p.Trial, p.Value, p.Stack)
+}
+
+// Unwrap exposes a panicked error value to errors.As/Is on recover.
+func (p *TrialPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// runTrial executes one body invocation, capturing a panic instead of
+// letting it kill the worker goroutine (and with it the process before
+// the other workers finish).
+func runTrial[S any](i int, body func(int) S, out *S, panicked *atomic.Pointer[TrialPanic]) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked.CompareAndSwap(nil, &TrialPanic{Trial: i, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	*out = body(i)
+}

@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 16} {
+		got := Map(100, par, func(trial int) int { return trial * trial })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("par=%d: sample %d = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSmall(t *testing.T) {
+	if got := Map(0, 4, func(int) int { return 1 }); got != nil {
+		t.Fatalf("0 trials returned %v", got)
+	}
+	if got := Map(1, 8, func(int) int { return 7 }); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("1 trial returned %v", got)
+	}
+}
+
+// TestParallelMatchesSequential is the runner-level determinism check:
+// seed-derived per-trial randomness must produce the same sample vector
+// at any worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	body := func(trial int) float64 {
+		rng := rand.New(rand.NewPCG(uint64(trial+1), 0xabc))
+		sum := 0.0
+		for i := 0; i < 1000; i++ {
+			sum += rng.Float64()
+		}
+		return sum
+	}
+	seq := Map(64, 1, body)
+	par := Map(64, 8, body)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("sample %d: sequential %v != parallel %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	var ran atomic.Int32
+	wantErr := errors.New("boom")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("trial panic not propagated")
+		}
+		p, ok := r.(*TrialPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want *TrialPanic", r)
+		}
+		if p.Trial != 13 || !errors.Is(p.Unwrap(), wantErr) {
+			t.Fatalf("TrialPanic = trial %d, value %v; want trial 13 wrapping %v", p.Trial, p.Value, wantErr)
+		}
+		if !strings.Contains(p.String(), "boom") || len(p.Stack) == 0 {
+			t.Fatalf("TrialPanic lost message or worker stack: %s", p)
+		}
+	}()
+	Map(100, 4, func(trial int) int {
+		ran.Add(1)
+		if trial == 13 {
+			panic(wantErr)
+		}
+		return trial
+	})
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit par not honored")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Error("default par must be at least 1")
+	}
+}

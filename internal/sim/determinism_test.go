@@ -116,3 +116,76 @@ func TestDeterminismFingerprint(t *testing.T) {
 		}
 	}
 }
+
+// resetFingerprint runs the flood probe on an explicit network, so the
+// same instance can be exercised fresh and after Reset.
+func networkFingerprint(t *testing.T, net *Network) runFingerprint {
+	t.Helper()
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+	net.Start()
+	id, err := net.Originate(3, []byte("determinism probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	fp := runFingerprint{
+		totalMsgs:  net.TotalMessages(),
+		totalBytes: net.TotalBytes(),
+		typeMsgs:   net.MessagesOfType(flood.TypeData),
+		typeBytes:  net.BytesOfType(flood.TypeData),
+		steps:      net.Engine().Steps(),
+		delivered:  net.Delivered(id),
+	}
+	for _, at := range net.Deliveries(id).All() {
+		fp.times = append(fp.times, at)
+	}
+	return fp
+}
+
+// TestResetEqualsFresh is the regression guard for the trial-loop reuse
+// contract: a Reset network must replay exactly like a newly built one
+// with the same seed — including when the reset crosses seeds, and when
+// the dirty state includes crashes, drops and timers.
+func TestResetEqualsFresh(t *testing.T) {
+	g, err := topology.RandomRegular(200, 8, testBenchRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := wire.NewCodec()
+	flood.RegisterMessages(codec)
+	opts := Options{
+		Seed:     42,
+		Latency:  UniformLatency{Min: 5 * time.Millisecond, Max: 40 * time.Millisecond},
+		Codec:    codec,
+		DropRate: 0.05,
+	}
+
+	fresh42 := networkFingerprint(t, NewNetwork(g, opts))
+	opts.Seed = 43
+	fresh43 := networkFingerprint(t, NewNetwork(g, opts))
+
+	reused := NewNetwork(g, opts) // starts at seed 43
+	_ = networkFingerprint(t, reused)
+	reused.Crash(7) // extra dirty state Reset must clear
+	reused.Reset(42)
+	reset42 := networkFingerprint(t, reused)
+	reused.Reset(43)
+	reset43 := networkFingerprint(t, reused)
+
+	compare := func(name string, a, b runFingerprint) {
+		t.Helper()
+		if a.totalMsgs != b.totalMsgs || a.totalBytes != b.totalBytes ||
+			a.typeMsgs != b.typeMsgs || a.typeBytes != b.typeBytes ||
+			a.steps != b.steps ||
+			a.delivered != b.delivered || len(a.times) != len(b.times) {
+			t.Fatalf("%s: fingerprints diverged: %+v vs %+v", name, a, b)
+		}
+		for i := range a.times {
+			if a.times[i] != b.times[i] {
+				t.Fatalf("%s: delivery time %d diverged: %v vs %v", name, i, a.times[i], b.times[i])
+			}
+		}
+	}
+	compare("reset to 42", fresh42, reset42)
+	compare("reset to 43", fresh43, reset43)
+}

@@ -101,6 +101,25 @@ type Engine struct {
 // NewEngine returns an engine at virtual time zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset rewinds the engine to virtual time zero for a fresh run while
+// keeping the arena blocks and heap capacity, so a reset engine behaves
+// exactly like a new one without re-allocating. All pending events are
+// dropped; every outstanding Timer handle must be discarded by the
+// caller (generations restart, so a stale handle could otherwise cancel
+// an unrelated new event).
+func (e *Engine) Reset() {
+	e.now, e.seq, e.steps = 0, 0, 0
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	// Zero the used prefix of the arena: drops message/payload references
+	// and restarts generations, making reset state indistinguishable from
+	// a fresh engine.
+	for b := 0; b <= int(e.next-1)>>arenaBlockBits && b < len(e.blocks); b++ {
+		*e.blocks[b] = arenaBlock{}
+	}
+	e.next = 0
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 

@@ -117,6 +117,41 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 	return n
 }
 
+// Reset rewinds the network for a fresh run over the same topology and
+// options, reseeded with seed — the trial-loop form: one long-lived
+// Network per worker goroutine, reset between trials, instead of a
+// rebuild per trial. A reset network is behaviorally indistinguishable
+// from NewNetwork(topo, opts-with-seed): the engine restarts at time
+// zero, every RNG is re-derived from the seed, and all counters,
+// deliveries, link-FIFO clamps and crash flags clear.
+//
+// Handlers are dropped; call SetHandlers (and Start) again, typically
+// re-installing handlers whose state lives in a shared sized structure
+// (flood.Shared, adaptive.Shared) that the caller resets alongside.
+// Registered taps are kept.
+func (n *Network) Reset(seed uint64) {
+	n.engine.Reset()
+	n.opts.Seed = seed
+	n.latencyRNG = rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+	n.dropRNG = rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
+	n.ResetCounters()
+	clear(n.deliveries)
+	for i := range n.linkAt {
+		n.linkAt[i] = 0
+	}
+	for i := range n.nodes {
+		node := &n.nodes[i]
+		node.pcg = *rand.NewPCG(seed, 0x9e3779b97f4a7c15^uint64(i+1))
+		node.rand = *rand.New(&node.pcg)
+		node.handler = nil
+		node.crashed = false
+		node.nextTimer = 0
+		clear(node.timers)
+		node.extra = node.extra[:0]
+	}
+	n.started = false
+}
+
 // Engine exposes the underlying event engine (for RunUntil etc.).
 func (n *Network) Engine() *Engine { return n.engine }
 
@@ -130,7 +165,7 @@ func (n *Network) Now() time.Duration { return n.engine.Now() }
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 
 // SetHandlers installs one handler per node using the factory. Must be
-// called exactly once before Start.
+// called exactly once before Start (and again after each Reset).
 func (n *Network) SetHandlers(factory func(id proto.NodeID) proto.Handler) {
 	for i := range n.nodes {
 		n.nodes[i].handler = factory(n.nodes[i].id)

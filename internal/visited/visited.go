@@ -1,0 +1,193 @@
+// Package visited provides epoch-stamped dense per-(message, node)
+// state — the allocation-free replacement for the per-node
+// map[proto.MsgID]… seen-sets that protocol handlers otherwise build one
+// per node per trial.
+//
+// The layout is inverted relative to the maps it replaces: instead of
+// every node owning a map over message IDs, one network-wide Table owns,
+// per in-flight message, a dense vector indexed by node ID. All handlers
+// of one simulated network share the Table; the experiment trial loops
+// reuse it across sequentially simulated networks of the same size.
+//
+// Validity is epoch-stamped: a vector's cell counts as set only when its
+// stamp equals the vector's current epoch, so recycling a vector for a
+// new message — or resetting the whole table for a new trial — never
+// clears memory. Reset is O(live messages), not O(nodes).
+//
+// Tables are not safe for concurrent use; under the parallel trial
+// runner every worker goroutine owns its own Table, exactly as it owns
+// its own sim.Network.
+package visited
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+)
+
+// Vec is the dense state of one message: one value cell and one epoch
+// stamp per node. Obtain Vecs from a Table; the zero Vec is invalid.
+type Vec[T any] struct {
+	epoch  uint32
+	stamps []uint32
+	vals   []T
+}
+
+// Has reports whether the node's cell was set since the vector was last
+// (re)bound to a message.
+func (v *Vec[T]) Has(node proto.NodeID) bool {
+	return v.stamps[node] == v.epoch
+}
+
+// Get returns the node's value and whether it was set this epoch.
+func (v *Vec[T]) Get(node proto.NodeID) (T, bool) {
+	if v.stamps[node] == v.epoch {
+		return v.vals[node], true
+	}
+	var zero T
+	return zero, false
+}
+
+// Set stores the node's value, stamping the cell into the current epoch.
+// It reports whether the cell was previously unset (i.e. the first Set
+// for this node and message).
+func (v *Vec[T]) Set(node proto.NodeID, val T) bool {
+	first := v.stamps[node] != v.epoch
+	v.stamps[node] = v.epoch
+	v.vals[node] = val
+	return first
+}
+
+// Mark stamps the node's cell without touching the value — the pure
+// seen-set operation. It reports whether the cell was previously unset.
+func (v *Vec[T]) Mark(node proto.NodeID) bool {
+	if v.stamps[node] == v.epoch {
+		return false
+	}
+	v.stamps[node] = v.epoch
+	return true
+}
+
+// Table maps in-flight message IDs to their dense node vectors,
+// recycling vectors through a free list so that steady-state operation —
+// including Reset between trials — allocates nothing.
+type Table[T any] struct {
+	n    int
+	live map[proto.MsgID]*Vec[T]
+	free []*Vec[T]
+}
+
+// NewTable returns a Table sized for node IDs in [0, n).
+func NewTable[T any](n int) *Table[T] {
+	if n <= 0 {
+		panic(fmt.Sprintf("visited: table size %d", n))
+	}
+	return &Table[T]{n: n, live: make(map[proto.MsgID]*Vec[T])}
+}
+
+// N returns the node count the table was sized for.
+func (t *Table[T]) N() int { return t.n }
+
+// Lookup returns the message's vector, or nil if the message has no
+// state yet.
+func (t *Table[T]) Lookup(id proto.MsgID) *Vec[T] { return t.live[id] }
+
+// Vec returns the message's vector, binding a recycled (or new) one on
+// first use. Binding bumps the vector's own epoch, so every cell of the
+// returned vector starts unset without any clearing.
+func (t *Table[T]) Vec(id proto.MsgID) *Vec[T] {
+	if v, ok := t.live[id]; ok {
+		return v
+	}
+	var v *Vec[T]
+	if n := len(t.free); n > 0 {
+		v = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		v = &Vec[T]{stamps: make([]uint32, t.n), vals: make([]T, t.n)}
+	}
+	v.rebind()
+	t.live[id] = v
+	return v
+}
+
+// rebind advances the vector's epoch for a new message. Epochs are
+// per-vector, so wraparound is a purely local event: when a vector's
+// uint32 epoch overflows — its 4-billionth rebind — only its own stamps
+// are zeroed, and vectors live at that moment are untouched.
+func (v *Vec[T]) rebind() {
+	v.epoch++
+	if v.epoch == 0 {
+		clear(v.stamps)
+		v.epoch = 1
+	}
+}
+
+// Reset invalidates every message's state — the start of a new trial
+// over the same node count. Live vectors move to the free list; stamps
+// and values are left in place and go stale via the epoch, so Reset is
+// O(live messages), not O(nodes). Stale values are unreachable but stay
+// referenced until overwritten; callers that store pooled pointers
+// should recycle those through their own free lists (see
+// adaptive.Shared).
+func (t *Table[T]) Reset() {
+	for id, v := range t.live {
+		t.free = append(t.free, v)
+		delete(t.live, id)
+	}
+}
+
+// Pool is the trial-scoped object pool that accompanies a Table:
+// objects issued since the last Reset — relay messages in flight, tree
+// states referenced from vectors — are reclaimed wholesale when the
+// trial ends, so steady-state trial loops allocate nothing. Reset must
+// only run once the network holding the issued objects is drained or
+// discarded.
+type Pool[T any] struct {
+	newFn func() T
+	scrub func(T) // drops cross-trial references before pooling
+	free  []T
+	live  []T
+}
+
+// NewPool returns a pool; scrub (optional) runs on every issued object
+// at Reset, before it re-enters the free list — the place to nil out
+// payload references so the pool does not pin trial garbage.
+func NewPool[T any](newFn func() T, scrub func(T)) *Pool[T] {
+	return &Pool[T]{newFn: newFn, scrub: scrub}
+}
+
+// Get returns a recycled (or new) object, valid until the next Reset.
+func (p *Pool[T]) Get() T {
+	var v T
+	if n := len(p.free); n > 0 {
+		v = p.free[n-1]
+		var zero T
+		p.free[n-1] = zero
+		p.free = p.free[:n-1]
+	} else {
+		v = p.newFn()
+	}
+	p.live = append(p.live, v)
+	return v
+}
+
+// Reset scrubs and reclaims every object issued since the last Reset.
+func (p *Pool[T]) Reset() {
+	for i, v := range p.live {
+		if p.scrub != nil {
+			p.scrub(v)
+		}
+		p.free = append(p.free, v)
+		var zero T
+		p.live[i] = zero
+	}
+	p.live = p.live[:0]
+}
+
+// Issued returns the number of objects handed out since the last Reset.
+func (p *Pool[T]) Issued() int { return len(p.live) }
+
+// Free returns the current free-list size.
+func (p *Pool[T]) Free() int { return len(p.free) }

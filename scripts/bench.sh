@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the tracked benchmark suite — the E1–E13/A1–A2 experiment
+# Runs the tracked benchmark suite — the E1–E14/A1–A2 experiment
 # benchmarks plus the sim/topology/crypto/dcnet micro-benchmarks — and
 # rewrites the "current" section of BENCH_runtime.json. The "baseline"
 # section is preserved verbatim so regressions stay visible across PRs
@@ -7,6 +7,9 @@
 #
 # Usage:
 #   scripts/bench.sh                 # quick (1 iteration per benchmark)
+#   scripts/bench.sh -check -count 3 # CI gate: fail on >15% ns/op
+#                                    # regression vs the baseline section
+#                                    # (fastest of 3 runs is recorded)
 #   BENCHTIME=2s scripts/bench.sh    # steadier numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
