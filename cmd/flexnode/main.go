@@ -10,6 +10,16 @@
 //
 // Every -group node derives deterministic demo identities; production
 // deployments would exchange real keys.
+//
+// -parity boots an entire in-process cluster instead, runs the selected
+// protocol variant under both the simulator and the real transport with
+// the same seed and topology, and prints the differential table in the
+// cmd/flexsim format:
+//
+//	flexnode -parity                                     # composed, 64 nodes, in-memory
+//	flexnode -parity -variant flood -n 128 -transport tcp
+//
+// It exits nonzero when the tables diverge.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"time"
 
 	"repro/flexnet"
+	"repro/internal/parity"
 )
 
 func main() {
@@ -33,7 +44,46 @@ func main() {
 	}
 }
 
+// runParity executes one differential run and prints the report.
+func runParity(variant, transport string, n int, seed uint64) error {
+	sc := parity.Scenario{N: n, Seed: seed}
+	switch variant {
+	case "", "composed":
+		sc.Variant = parity.VariantComposed
+	case "flood":
+		sc.Variant = parity.VariantFlood
+	case "adaptive":
+		sc.Variant = parity.VariantAdaptive
+	case "dandelion":
+		sc.Variant = parity.VariantDandelion
+	default:
+		return fmt.Errorf("unknown -variant %q (flood|adaptive|dandelion|composed)", variant)
+	}
+	switch transport {
+	case "", "mem":
+		sc.Transport = parity.TransportMem
+	case "tcp":
+		sc.Transport = parity.TransportTCP
+	default:
+		return fmt.Errorf("unknown -transport %q (mem|tcp)", transport)
+	}
+	rep, err := parity.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if !rep.OK {
+		return fmt.Errorf("%d divergence(s) between simulator and transport", len(rep.Divergences))
+	}
+	return nil
+}
+
 func run() error {
+	parityMode := flag.Bool("parity", false, "run the sim-vs-transport differential harness instead of a node")
+	variant := flag.String("variant", "composed", "parity protocol variant: flood|adaptive|dandelion|composed")
+	transportKind := flag.String("transport", "mem", "parity substrate: mem|tcp")
+	clusterN := flag.Int("n", 0, "parity cluster size (0: variant default)")
+	seed := flag.Uint64("seed", 0, "parity scenario seed (0: default)")
 	id := flag.Int("id", 0, "node ID")
 	listen := flag.String("listen", "127.0.0.1:7000", "listen address")
 	peers := flag.String("peers", "", "comma-separated id=addr address book")
@@ -47,6 +97,10 @@ func run() error {
 	fee := flag.Uint64("fee", 10, "fee for -send")
 	interval := flag.Duration("dc-interval", 2*time.Second, "DC-net round interval")
 	flag.Parse()
+
+	if *parityMode {
+		return runParity(*variant, *transportKind, *clusterN, *seed)
+	}
 
 	addrBook, err := parsePeers(*peers)
 	if err != nil {

@@ -57,6 +57,10 @@ type Config struct {
 	// DCPolicy is the Phase-1 failure policy (default PolicyBlame, the
 	// paper's recommended general-purpose default, §V-C).
 	DCPolicy dcnet.Policy
+	// DCMaxRounds bounds the number of DC-net rounds (0: unbounded); see
+	// dcnet.Config.MaxRounds. Differential tests use it to make Phase-1
+	// cost deterministic.
+	DCMaxRounds int
 	// Channels optionally supplies pairwise AEAD channels for Phase 1.
 	Channels map[proto.NodeID]*crypto.SecureChannel
 
@@ -140,13 +144,14 @@ func (p *Protocol) Init(ctx proto.Context) {
 		return
 	}
 	member, err := dcnet.NewMember(dcnet.Config{
-		Self:     ctx.Self(),
-		Members:  p.cfg.Group,
-		Mode:     p.cfg.DCMode,
-		SlotSize: p.cfg.DCSlotSize,
-		Interval: p.cfg.DCInterval,
-		Policy:   p.cfg.DCPolicy,
-		Channels: p.cfg.Channels,
+		Self:      ctx.Self(),
+		Members:   p.cfg.Group,
+		Mode:      p.cfg.DCMode,
+		SlotSize:  p.cfg.DCSlotSize,
+		Interval:  p.cfg.DCInterval,
+		Policy:    p.cfg.DCPolicy,
+		MaxRounds: p.cfg.DCMaxRounds,
+		Channels:  p.cfg.Channels,
 		OnDeliver: func(ctx proto.Context, _ uint32, payload []byte) {
 			p.onGroupMessage(ctx, payload)
 		},
@@ -242,6 +247,22 @@ func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto
 		return
 	}
 	if m, ok := msg.(*flood.DataMsg); ok {
+		// An infected node already possesses the payload and assumes its
+		// Phase-3 role when the final-spread instruction reaches it
+		// (prune at interior nodes, spread at leaves). Pruning the flood
+		// here — even before that instruction arrives — keeps Phase-3
+		// cost independent of whether a wrapped flood front outruns the
+		// final wave, a race a wall-clock runtime would otherwise decide
+		// differently from the simulator run to run. The trade-off: if
+		// the final-spread instruction to this node were lost, it would
+		// not fall back to forwarding the flood. That is inside the
+		// model — Context.Send is reliable per link (honest-but-curious,
+		// §II), and a lost final already breaks coverage at leaves in
+		// any case — so determinism wins here; loss recovery belongs in
+		// a retransmission layer, not in a timing race.
+		if p.ad.State(m.ID) != nil {
+			return
+		}
 		p.fl.HandleData(ctx, from, m)
 	}
 }

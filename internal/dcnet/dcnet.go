@@ -76,6 +76,14 @@ type Config struct {
 	// Interval is the nominal spacing of round starts (default 2s),
 	// "chosen suitably for the expected activity in the network" (§V-A).
 	Interval time.Duration
+	// MaxRounds, when positive, stops the member from starting any round
+	// beyond this number. Because every member counts rounds identically,
+	// the group's total message and byte cost becomes a deterministic
+	// function of MaxRounds — the property the differential parity
+	// harness relies on to compare a wall-clock run against a virtual-time
+	// simulation without "however many idle rounds happened to fit"
+	// noise. Zero (the default) keeps rounds unbounded.
+	MaxRounds int
 	// Timeout aborts the group if a round stalls longer than this
 	// (crashed member). Zero disables.
 	Timeout time.Duration
@@ -427,6 +435,9 @@ func (m *Member) wantsAnnounce() bool {
 }
 
 func (m *Member) startRound(ctx proto.Context, n uint32) {
+	if m.cfg.MaxRounds > 0 && n > uint32(m.cfg.MaxRounds) {
+		return
+	}
 	rs := m.round(n)
 	if rs.started {
 		return

@@ -7,7 +7,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/runner"
-	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -34,11 +33,12 @@ func A1AlphaAblation(sc Scenario) *metrics.Table {
 
 	run := func(override float64) float64 {
 		distCounts := make([]int, d+2)
-		hs := runner.Map(nTrials, sc.Par, func(trial int) int {
+		hs := runner.MapWorker(nTrials, sc.Par, func() *adWorker {
+			return newAdWorker(sc, g)
+		}, func(w *adWorker, trial int) int {
 			tracker := &tokenTracker{last: proto.NoNode}
-			net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(time.Millisecond)})
+			net, shared := w.trial(g, uint64(trial+1))
 			net.AddTap(tracker)
-			shared := adaptive.NewShared(g.N())
 			net.SetHandlers(func(id proto.NodeID) proto.Handler {
 				return adaptive.NewAt(adaptive.Config{
 					D:             d,

@@ -11,7 +11,51 @@ import (
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
+
+// e4Worker is E4's per-worker state — like adWorker (e6.go), but with
+// one long-lived network per latency model plus one shared flood state,
+// Reset per trial; the topology repeats, so only the seed changes.
+// Reset ≡ fresh (TestResetEqualsFresh), hence tables stay bit-identical
+// to the fresh-network form (TestNetworkReuseBitIdentical runs both
+// arms). A zero worker (FreshNet scenarios) rebuilds per trial.
+type e4Worker struct {
+	latConst, latJit sim.LatencyModel
+	netConst, netJit *sim.Network
+	shared           *flood.Shared
+}
+
+func newE4Worker(sc Scenario, g *topology.Graph, n int, latConst, latJit sim.LatencyModel) *e4Worker {
+	w := &e4Worker{latConst: latConst, latJit: latJit}
+	if sc.FreshNet {
+		return w
+	}
+	w.netConst = sim.NewNetwork(g, sim.Options{Latency: latConst})
+	w.netJit = sim.NewNetwork(g, sim.Options{Latency: latJit})
+	w.shared = flood.NewShared(n)
+	return w
+}
+
+// trial returns the network and shared state ready for one seeded
+// sub-run under the selected latency model.
+func (w *e4Worker) trial(g *topology.Graph, n int, seed uint64, jitter bool) (*sim.Network, *flood.Shared) {
+	if w.netConst == nil {
+		lat := w.latConst
+		if jitter {
+			lat = w.latJit
+		}
+		return sim.NewNetwork(g, sim.Options{Seed: seed, Latency: lat}), flood.NewShared(n)
+	}
+	net := w.netConst
+	if jitter {
+		net = w.netJit
+	}
+	net.Reset(seed)
+	net.ClearTaps()
+	w.shared.Reset()
+	return net, w.shared
+}
 
 // E4FloodDeanonymization quantifies Fig. 2 and the Biryukov et al. attack
 // the introduction cites: against plain flooding, a botnet-style
@@ -40,20 +84,19 @@ func E4FloodDeanonymization(sc Scenario) *metrics.Table {
 		timingConst, timingJit proto.NodeID
 		anonSet                float64
 	}
+	latConst := sim.ConstLatency(50 * time.Millisecond)
+	latJit := sim.UniformLatency{Min: 25 * time.Millisecond, Max: 75 * time.Millisecond}
 	for _, f := range fractions {
-		samples := runner.Map(nTrials, sc.Par, func(trial int) sample {
+		samples := runner.MapWorker(nTrials, sc.Par, func() *e4Worker {
+			return newE4Worker(sc, g, n, latConst, latJit)
+		}, func(w *e4Worker, trial int) sample {
 			rng := rand.New(rand.NewPCG(uint64(trial+1), uint64(f*1000)))
 			corrupted := adversary.SampleCorrupted(n, f, rng)
 			var s sample
 			for _, jitter := range []bool{false, true} {
 				obs := adversary.NewObserver(corrupted)
-				var lat sim.LatencyModel = sim.ConstLatency(50 * time.Millisecond)
-				if jitter {
-					lat = sim.UniformLatency{Min: 25 * time.Millisecond, Max: 75 * time.Millisecond}
-				}
-				net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: lat})
+				net, shared := w.trial(g, n, uint64(trial+1), jitter)
 				net.AddTap(obs)
-				shared := flood.NewShared(n)
 				net.SetHandlers(func(id proto.NodeID) proto.Handler { return flood.NewAt(shared, id) })
 				net.Start()
 				srcRNG := rand.New(rand.NewPCG(uint64(trial+1), uint64(f*1000)+7))

@@ -11,6 +11,38 @@ import (
 	"repro/internal/topology"
 )
 
+// adWorker is the per-worker state of the line/tree diffusion trials
+// (E6, A1): one long-lived network plus shared diffusion state, Reset
+// per trial — the ROADMAP's network-reuse item. A zero worker (FreshNet
+// scenarios) rebuilds per trial instead; both arms are bit-identical
+// (TestNetworkReuseBitIdentical).
+type adWorker struct {
+	net    *sim.Network
+	shared *adaptive.Shared
+}
+
+func newAdWorker(sc Scenario, g *topology.Graph) *adWorker {
+	if sc.FreshNet {
+		return &adWorker{}
+	}
+	return &adWorker{
+		net:    sim.NewNetwork(g, sim.Options{Latency: sim.ConstLatency(time.Millisecond)}),
+		shared: adaptive.NewShared(g.N()),
+	}
+}
+
+// trial returns the network and shared state ready for one seeded run.
+func (w *adWorker) trial(g *topology.Graph, seed uint64) (*sim.Network, *adaptive.Shared) {
+	if w.net == nil {
+		return sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(time.Millisecond)}),
+			adaptive.NewShared(g.N())
+	}
+	w.net.Reset(seed)
+	w.net.ClearTaps()
+	w.shared.Reset()
+	return w.net, w.shared
+}
+
 // tokenTracker records the last virtual-source token holder.
 type tokenTracker struct{ last proto.NodeID }
 
@@ -69,12 +101,14 @@ func E6Obfuscation(sc Scenario) *metrics.Table {
 		distCounts := make([]int, r.d+2)
 		centerHits := 0
 		// One sample per trial: the source's distance from the final
-		// token holder (the centre of the infected ball).
-		hs := runner.Map(nTrials, sc.Par, func(trial int) int {
+		// token holder (the centre of the infected ball). Workers keep
+		// one network + shared state across trials (Reset per trial).
+		hs := runner.MapWorker(nTrials, sc.Par, func() *adWorker {
+			return newAdWorker(sc, g)
+		}, func(w *adWorker, trial int) int {
 			tracker := &tokenTracker{last: proto.NoNode}
-			net := sim.NewNetwork(g, sim.Options{Seed: uint64(trial + 1), Latency: sim.ConstLatency(time.Millisecond)})
+			net, shared := w.trial(g, uint64(trial+1))
 			net.AddTap(tracker)
-			shared := adaptive.NewShared(g.N())
 			net.SetHandlers(func(id proto.NodeID) proto.Handler {
 				return adaptive.NewAt(adaptive.Config{D: r.d, RoundInterval: 100 * time.Millisecond, TreeDegree: r.deg}, shared, id)
 			})

@@ -40,6 +40,12 @@ type Scenario struct {
 	// Par is the trial worker-pool size: 0 means GOMAXPROCS, 1 forces
 	// the sequential loop. Tables are identical at every setting.
 	Par int
+	// FreshNet disables worker network reuse on the experiments that
+	// hold one sim.Network per worker across trials (E4/E6/A1),
+	// rebuilding a network per trial instead. Tables are identical
+	// either way — TestNetworkReuseBitIdentical enforces it — so this
+	// exists only as that test's comparison arm.
+	FreshNet bool
 }
 
 // Quick returns the CI scenario (fewer trials, default size).

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/dandelion"
+	"repro/internal/dcnet"
+	"repro/internal/flood"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/proto"
+)
+
+// WireType names one protocol message type for table rendering: the
+// canonical per-type breakdown every experiment table, the parity
+// harness and cmd/flexnode -parity share. Keeping the naming here —
+// next to the experiments that defined the original tables — lets
+// sim-side numbers be extracted and rendered outside Experiment.Run.
+type WireType struct {
+	Type  proto.MsgType
+	Name  string
+	Phase string
+}
+
+// Phase display names, matching the E12 trace table.
+const (
+	PhaseDCNet    = "phase 1: dc-net"
+	PhaseAdaptive = "phase 2: adaptive diffusion"
+	PhaseFlood    = "phase 3: flood-and-prune"
+	PhaseStem     = "dandelion stem"
+	PhaseChain    = "blockchain"
+)
+
+// wireTypes is the canonical index, ascending by type.
+var wireTypes = []WireType{
+	{flood.TypeData, "flood/data", PhaseFlood},
+	{adaptive.TypeInfect, "adaptive/infect", PhaseAdaptive},
+	{adaptive.TypeExtend, "adaptive/extend", PhaseAdaptive},
+	{adaptive.TypeToken, "adaptive/token", PhaseAdaptive},
+	{adaptive.TypeFinal, "adaptive/final", PhaseAdaptive},
+	{dcnet.TypeShare, "dcnet/share", PhaseDCNet},
+	{dcnet.TypeSPartial, "dcnet/s-partial", PhaseDCNet},
+	{dcnet.TypeTPartial, "dcnet/t-partial", PhaseDCNet},
+	{dcnet.TypeCommit, "dcnet/commit", PhaseDCNet},
+	{dcnet.TypeReveal, "dcnet/reveal", PhaseDCNet},
+	{dandelion.TypeStem, "dandelion/stem", PhaseStem},
+	{node.TypeBlock, "chain/block", PhaseChain},
+}
+
+// WireTypes returns the canonical message-type index in ascending type
+// order. The slice is shared; callers must not mutate it.
+func WireTypes() []WireType { return wireTypes }
+
+// PhaseOf returns the display phase for a message type, falling back to
+// the range name for types outside the canonical index.
+func PhaseOf(t proto.MsgType) string {
+	for _, wt := range wireTypes {
+		if wt.Type == t {
+			return wt.Phase
+		}
+	}
+	return "other"
+}
+
+// WireCountTable renders the nonzero per-type message/byte counts of any
+// runtime as a table — the sim-side extraction reused by the parity
+// harness and by cmd/flexnode -parity, so both print the exact format
+// cmd/flexsim uses.
+func WireCountTable(title string, src metrics.WireCounts) *metrics.Table {
+	t := metrics.NewTable(title, "phase", "type", "messages", "bytes")
+	for _, wt := range wireTypes {
+		msgs := src.MessagesOfType(wt.Type)
+		if msgs == 0 {
+			continue
+		}
+		t.AddRow(wt.Phase, wt.Name, msgs, src.BytesOfType(wt.Type))
+	}
+	return t
+}

@@ -1,0 +1,15 @@
+package metrics
+
+import "repro/internal/proto"
+
+// WireCounts is the per-message-type accounting surface a network
+// runtime exposes: sim.Network implements it natively, and the parity
+// harness aggregates transport.WireStats into it. Table builders accept
+// this interface so the simulator's tables and a real cluster's tables
+// render through one code path — a precondition for diffing them.
+type WireCounts interface {
+	// MessagesOfType returns the number of sent messages of type t.
+	MessagesOfType(t proto.MsgType) int64
+	// BytesOfType returns the marshaled bytes sent for type t.
+	BytesOfType(t proto.MsgType) int64
+}

@@ -174,6 +174,35 @@ func New(cfg Config) (*Node, error) {
 	}, nil
 }
 
+// Probe is an event-loop-time snapshot of a node's progress. Cluster
+// harnesses poll it (through transport Node.Inject, so the read is
+// serialized with the handler) to decide when a run is quiescent —
+// replacing wall-clock sleeps with observable conditions: the mempool
+// holds the transaction, the DC-net has finished its bounded rounds.
+type Probe struct {
+	// MempoolLen is the current transaction-pool size.
+	MempoolLen int
+	// ChainHeight is the main-chain height.
+	ChainHeight uint64
+	// DCRounds is the number of completed DC-net rounds (0 if the node
+	// has no group or the protocol has not initialized yet).
+	DCRounds int
+	// DCStopped reports whether the DC-net member dissolved or stopped.
+	DCStopped bool
+}
+
+// Probe snapshots the node's progress. It must run on the node's event
+// loop (sim handler context or transport Inject), like every other
+// handler-state access.
+func (n *Node) Probe() Probe {
+	p := Probe{MempoolLen: n.mempool.Len(), ChainHeight: n.chain.Height()}
+	if m := n.protocol.Member(); m != nil {
+		p.DCRounds = m.RoundsCompleted
+		p.DCStopped = m.Stopped()
+	}
+	return p
+}
+
 // Mempool exposes the transaction pool.
 func (n *Node) Mempool() *chain.Mempool { return n.mempool }
 

@@ -1,0 +1,40 @@
+package proto_test
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// TestMsgTypeRangesDisjoint guards the range allocation that lets one
+// codec registry serve the composed node: each protocol family owns a
+// disjoint 256-type block.
+func TestMsgTypeRangesDisjoint(t *testing.T) {
+	ranges := map[string]proto.MsgType{
+		"transport": proto.RangeTransport,
+		"flood":     proto.RangeFlood,
+		"adaptive":  proto.RangeAdaptive,
+		"dcnet":     proto.RangeDCNet,
+		"dandelion": proto.RangeDandelion,
+		"core":      proto.RangeCore,
+		"group":     proto.RangeGroup,
+		"chain":     proto.RangeChain,
+	}
+	seen := make(map[proto.MsgType]string)
+	for name, r := range ranges {
+		if r&0xff != 0 {
+			t.Errorf("range %s = %#04x is not 256-aligned", name, uint16(r))
+		}
+		if prev, dup := seen[r]; dup {
+			t.Errorf("ranges %s and %s collide at %#04x", name, prev, uint16(r))
+		}
+		seen[r] = name
+	}
+}
+
+// TestNodeIDSentinel pins NoNode outside the dense ID space.
+func TestNodeIDSentinel(t *testing.T) {
+	if proto.NoNode >= 0 {
+		t.Errorf("NoNode = %d must be negative (dense IDs start at 0)", proto.NoNode)
+	}
+}

@@ -37,6 +37,21 @@ import (
 // trial index — deriving all randomness from it — and must not touch
 // state shared with other trials.
 func Map[S any](trials, par int, body func(trial int) S) []S {
+	return MapWorker(trials, par, func() struct{} { return struct{}{} },
+		func(_ struct{}, trial int) S { return body(trial) })
+}
+
+// MapWorker is Map with per-worker state: setup runs once on each
+// worker goroutine (once total for the sequential loop) and its result
+// is passed to every trial that worker executes. It exists for the
+// trial shape where rebuilding heavy per-trial scaffolding is wasteful
+// — e.g. one sim.Network per worker, Reset between trials — while the
+// bit-identical-tables contract stays intact because Reset-equals-fresh
+// is itself a guaranteed (and regression-tested) property. body must
+// still be a pure function of (worker state, trial index), and setup
+// must return states whose trial behavior is indistinguishable across
+// workers.
+func MapWorker[W, S any](trials, par int, setup func() W, body func(w W, trial int) S) []S {
 	if trials <= 0 {
 		return nil
 	}
@@ -46,8 +61,9 @@ func Map[S any](trials, par int, body func(trial int) S) []S {
 	}
 	out := make([]S, trials)
 	if par == 1 {
+		w := setup()
 		for i := range out {
-			out[i] = body(i)
+			out[i] = body(w, i)
 		}
 		return out
 	}
@@ -61,12 +77,16 @@ func Map[S any](trials, par int, body func(trial int) S) []S {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var ws W
+			if !runSetup(setup, &ws, &panicked) {
+				return
+			}
 			for panicked.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= trials {
 					return
 				}
-				runTrial(i, body, &out[i], &panicked)
+				runTrial(i, func(trial int) S { return body(ws, trial) }, &out[i], &panicked)
 			}
 		}()
 	}
@@ -96,6 +116,9 @@ type TrialPanic struct {
 }
 
 func (p *TrialPanic) String() string {
+	if p.Trial < 0 {
+		return fmt.Sprintf("runner: worker setup panicked: %v\n\nworker stack:\n%s", p.Value, p.Stack)
+	}
 	return fmt.Sprintf("runner: trial %d panicked: %v\n\nworker stack:\n%s", p.Trial, p.Value, p.Stack)
 }
 
@@ -105,6 +128,18 @@ func (p *TrialPanic) Unwrap() error {
 		return err
 	}
 	return nil
+}
+
+// runSetup builds one worker's state, capturing a panic (Trial = -1)
+// instead of letting it kill the process; it reports success.
+func runSetup[W any](setup func() W, out *W, panicked *atomic.Pointer[TrialPanic]) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked.CompareAndSwap(nil, &TrialPanic{Trial: -1, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	*out = setup()
+	return true
 }
 
 // runTrial executes one body invocation, capturing a panic instead of

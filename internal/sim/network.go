@@ -83,6 +83,16 @@ type Network struct {
 	started    bool
 }
 
+// NodeSeed returns the PCG seed pair a Network derives for node id from
+// the run seed. It is exported so other runtimes (internal/transport via
+// Config.SeedStream) can hand their handlers bit-identical random
+// streams — the foundation of the differential parity harness: the same
+// handler code drawing the same randomness must produce the same
+// message tables under both runtimes.
+func NodeSeed(seed uint64, id proto.NodeID) (uint64, uint64) {
+	return seed, 0x9e3779b97f4a7c15 ^ (uint64(id) + 1)
+}
+
 // NewNetwork creates a network over the topology. Handlers are attached
 // with SetHandlers before Start.
 func NewNetwork(topo *topology.Graph, opts Options) *Network {
@@ -111,7 +121,7 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 		node := &n.nodes[i]
 		node.net = n
 		node.id = proto.NodeID(i)
-		node.pcg = *rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15^uint64(i+1))
+		node.pcg = *rand.NewPCG(NodeSeed(opts.Seed, node.id))
 		node.rand = *rand.New(&node.pcg)
 	}
 	return n
@@ -141,7 +151,7 @@ func (n *Network) Reset(seed uint64) {
 	}
 	for i := range n.nodes {
 		node := &n.nodes[i]
-		node.pcg = *rand.NewPCG(seed, 0x9e3779b97f4a7c15^uint64(i+1))
+		node.pcg = *rand.NewPCG(NodeSeed(seed, node.id))
 		node.rand = *rand.New(&node.pcg)
 		node.handler = nil
 		node.crashed = false
@@ -163,6 +173,11 @@ func (n *Network) Now() time.Duration { return n.engine.Now() }
 
 // AddTap registers an observer. Must be called before Start.
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// ClearTaps removes all registered taps — the trial-reuse form: a worker
+// that keeps one Network across trials re-registers its per-trial
+// observers after each Reset instead of accumulating them.
+func (n *Network) ClearTaps() { n.taps = n.taps[:0] }
 
 // SetHandlers installs one handler per node using the factory. Must be
 // called exactly once before Start (and again after each Reset).

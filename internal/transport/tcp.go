@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"maps"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -18,6 +19,25 @@ import (
 	"repro/internal/proto"
 	"repro/internal/wire"
 )
+
+// Substrate abstracts the byte-stream network a Node runs on: real TCP
+// by default, or an in-memory pipe network (MemNet) so multi-node tests
+// run hermetically — no ports, no sockets — under the race detector.
+type Substrate interface {
+	// Listen binds a listener at addr (implementation-defined syntax).
+	Listen(addr string) (net.Listener, error)
+	// Dial opens a connection to addr within timeout.
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// tcpSubstrate is the default Substrate: real TCP sockets.
+type tcpSubstrate struct{}
+
+func (tcpSubstrate) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+func (tcpSubstrate) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
 
 // Config parametrizes a TCP runtime node.
 type Config struct {
@@ -37,6 +57,13 @@ type Config struct {
 	OnDeliver func(id proto.MsgID, payload []byte)
 	// Seed seeds the node's RNG (derive from crypto/rand in production).
 	Seed uint64
+	// SeedStream, when nonzero, is the second PCG word of the node RNG.
+	// The parity harness passes sim.NodeSeed(seed, id) here so handlers
+	// draw bit-identical random streams under both runtimes; zero keeps
+	// the transport's own derivation.
+	SeedStream uint64
+	// Net is the byte-stream substrate (default: real TCP).
+	Net Substrate
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 	// MailboxSize bounds the event queue (default 1024). The buffer
@@ -61,6 +88,7 @@ type Node struct {
 	events chan event
 	done   chan struct{}
 	wg     sync.WaitGroup
+	stats  wireStats
 
 	mu        sync.Mutex
 	addrBook  map[proto.NodeID]string
@@ -69,6 +97,114 @@ type Node struct {
 	timers    map[proto.TimerID]*time.Timer
 	nextTimer proto.TimerID
 	closed    bool
+}
+
+// WireStats is a snapshot of one node's wire-level accounting: per-type
+// message and byte counters on both directions, taken where the codec
+// touches the stream (marshal on send, unmarshal on receive). Byte
+// counts are marshaled sizes — 2-byte type tag plus body, the same
+// quantity sim.Network accounts via Codec.Size — while FrameBytes adds
+// the 4-byte length prefixes and the 8-byte connection handshakes that
+// only exist on a real stream. The parity harness diffs these tables
+// against a simulator run.
+type WireStats struct {
+	TxMsgs  map[proto.MsgType]int64
+	TxBytes map[proto.MsgType]int64
+	RxMsgs  map[proto.MsgType]int64
+	RxBytes map[proto.MsgType]int64
+	// TxFrames/RxFrames count frames including handshakes; FrameBytes
+	// include the length prefixes.
+	TxFrames, TxFrameBytes int64
+	RxFrames, RxFrameBytes int64
+	// TxDropped counts messages dropped at a full send queue (still
+	// counted in TxMsgs: the handler handed them to the network, which is
+	// the event the simulator counts too).
+	TxDropped int64
+	// RxBadFrames counts frames the codec rejected.
+	RxBadFrames int64
+}
+
+// wireStats is the live, mutex-protected form behind Stats snapshots.
+// Send counting runs on the event loop; receive counting runs on one
+// reader goroutine per inbound connection.
+type wireStats struct {
+	mu sync.Mutex
+	s  WireStats
+}
+
+func (w *wireStats) tx(t proto.MsgType, frameLen int) {
+	w.mu.Lock()
+	if w.s.TxMsgs == nil {
+		w.s.TxMsgs = make(map[proto.MsgType]int64)
+		w.s.TxBytes = make(map[proto.MsgType]int64)
+	}
+	w.s.TxMsgs[t]++
+	w.s.TxBytes[t] += int64(frameLen)
+	w.s.TxFrames++
+	w.s.TxFrameBytes += int64(frameLen) + wire.FrameHeaderLen
+	w.mu.Unlock()
+}
+
+func (w *wireStats) rx(t proto.MsgType, frameLen int) {
+	w.mu.Lock()
+	if w.s.RxMsgs == nil {
+		w.s.RxMsgs = make(map[proto.MsgType]int64)
+		w.s.RxBytes = make(map[proto.MsgType]int64)
+	}
+	w.s.RxMsgs[t]++
+	w.s.RxBytes[t] += int64(frameLen)
+	w.s.RxFrames++
+	w.s.RxFrameBytes += int64(frameLen) + wire.FrameHeaderLen
+	w.mu.Unlock()
+}
+
+func (w *wireStats) rawTx(frameLen int) {
+	w.mu.Lock()
+	w.s.TxFrames++
+	w.s.TxFrameBytes += int64(frameLen) + wire.FrameHeaderLen
+	w.mu.Unlock()
+}
+
+func (w *wireStats) rawRx(frameLen int) {
+	w.mu.Lock()
+	w.s.RxFrames++
+	w.s.RxFrameBytes += int64(frameLen) + wire.FrameHeaderLen
+	w.mu.Unlock()
+}
+
+func (w *wireStats) dropped() {
+	w.mu.Lock()
+	w.s.TxDropped++
+	w.mu.Unlock()
+}
+
+func (w *wireStats) bad() {
+	w.mu.Lock()
+	w.s.RxBadFrames++
+	w.mu.Unlock()
+}
+
+// FrameCounts returns the tx/rx frame totals — the lightweight activity
+// fingerprint quiescence pollers read every few milliseconds, without
+// Stats' map cloning.
+func (n *Node) FrameCounts() (tx, rx int64) {
+	n.stats.mu.Lock()
+	defer n.stats.mu.Unlock()
+	return n.stats.s.TxFrames, n.stats.s.RxFrames
+}
+
+// Stats returns a deep copy of the node's wire accounting. It is safe to
+// call at any time; for a settled snapshot, call it after Close or when
+// the cluster is quiescent.
+func (n *Node) Stats() WireStats {
+	n.stats.mu.Lock()
+	defer n.stats.mu.Unlock()
+	out := n.stats.s
+	out.TxMsgs = maps.Clone(out.TxMsgs)
+	out.TxBytes = maps.Clone(out.TxBytes)
+	out.RxMsgs = maps.Clone(out.RxMsgs)
+	out.RxBytes = maps.Clone(out.RxBytes)
+	return out
 }
 
 // peer is an outbound framed connection with a writer goroutine.
@@ -91,7 +227,14 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 3 * time.Second
 	}
-	ln, err := net.Listen("tcp", cfg.Listen)
+	if cfg.Net == nil {
+		cfg.Net = tcpSubstrate{}
+	}
+	stream := cfg.SeedStream
+	if stream == 0 {
+		stream = cfg.Seed ^ 0x6a09e667f3bcc908
+	}
+	ln, err := cfg.Net.Listen(cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
 	}
@@ -99,7 +242,7 @@ func Listen(cfg Config) (*Node, error) {
 		cfg:      cfg,
 		ln:       ln,
 		start:    time.Now(),
-		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908)),
+		rng:      rand.New(rand.NewPCG(cfg.Seed, stream)),
 		events:   make(chan event, cfg.MailboxSize),
 		done:     make(chan struct{}),
 		addrBook: make(map[proto.NodeID]string, len(cfg.AddrBook)),
@@ -210,6 +353,7 @@ func (n *Node) readLoop(conn net.Conn) {
 	if err != nil || len(hello) != 4 {
 		return
 	}
+	n.stats.rawRx(len(hello))
 	r := wire.NewReader(hello)
 	from := r.NodeID()
 	if r.Err() != nil {
@@ -229,9 +373,11 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		msg, err := n.cfg.Codec.Unmarshal(frame)
 		if err != nil {
+			n.stats.bad()
 			n.cfg.Logger.Warn("bad frame", "from", from, "err", err)
 			continue
 		}
+		n.stats.rx(msg.Type(), len(frame))
 		n.post(func() { n.cfg.Handler.HandleMessage((*nodeCtx)(n), from, msg) })
 	}
 }
@@ -256,7 +402,7 @@ func (n *Node) peerFor(to proto.NodeID) (*peer, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for node %d", to)
 	}
-	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	conn, err := n.cfg.Net.Dial(addr, n.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %d at %s: %w", to, addr, err)
 	}
@@ -282,6 +428,7 @@ func (n *Node) peerFor(to proto.NodeID) (*peer, error) {
 	w.NodeID(n.cfg.Self)
 	hello := w.Bytes()
 
+	n.stats.rawTx(len(hello))
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -336,9 +483,13 @@ func (c *nodeCtx) Send(to proto.NodeID, msg proto.Message) {
 		n.cfg.Logger.Warn("send failed", "to", to, "err", err)
 		return
 	}
+	// Accounting mirrors the simulator: a message is counted when the
+	// handler hands it to the network, before any transmission outcome.
+	n.stats.tx(enc.Type(), len(frame))
 	select {
 	case p.out <- frame:
 	default:
+		n.stats.dropped()
 		n.cfg.Logger.Warn("send queue full; dropping", "to", to)
 	}
 }

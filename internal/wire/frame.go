@@ -9,6 +9,11 @@ import (
 // MaxFrameLen bounds a single frame on a TCP link.
 const MaxFrameLen = 32 << 20
 
+// FrameHeaderLen is the size of the length prefix WriteFrame emits. Wire
+// accounting uses it to convert between marshaled message sizes (what
+// the simulator counts) and on-stream framed sizes.
+const FrameHeaderLen = 4
+
 // WriteFrame writes a 4-byte big-endian length prefix followed by b.
 func WriteFrame(w io.Writer, b []byte) error {
 	if len(b) > MaxFrameLen {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/proto"
 )
@@ -271,6 +272,18 @@ func (c *Codec) Register(t proto.MsgType, factory func() Encodable) {
 		panic(fmt.Sprintf("wire: duplicate registration for message type %#04x", uint16(t)))
 	}
 	c.factories[t] = factory
+}
+
+// Types returns the registered message types in ascending order — the
+// codec's coverage surface, used by tests that assert two registries
+// (e.g. the parity harness's and flexnet's) stay in sync.
+func (c *Codec) Types() []proto.MsgType {
+	out := make([]proto.MsgType, 0, len(c.factories))
+	for t := range c.factories {
+		out = append(out, t)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // Marshal encodes a full message: 2-byte type tag followed by the body.
