@@ -175,6 +175,17 @@ func BenchmarkE14ScaleSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkE15Robustness runs the netem sweep (quick mode: 2 trials per
+// protocol × condition) and reports headline robustness numbers:
+// msgs/node for flood under 5% loss, and drops/node there.
+func BenchmarkE15Robustness(b *testing.B) {
+	runExperiment(b, "e15", func(b *testing.B, t *metrics.Table) {
+		// Row 2 is flood/loss5 (rows are protocol-major in sweep order).
+		b.ReportMetric(cell(t, 2, 6), "flood-msgs/node@loss5")
+		b.ReportMetric(cell(t, 2, 7), "flood-drops/node@loss5")
+	})
+}
+
 // BenchmarkA1AlphaAblation validates the derived pass probability
 // against naive constants.
 func BenchmarkA1AlphaAblation(b *testing.B) {

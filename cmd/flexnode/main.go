@@ -18,8 +18,12 @@
 //
 //	flexnode -parity                                     # composed, 64 nodes, in-memory
 //	flexnode -parity -variant flood -n 128 -transport tcp
+//	flexnode -parity -variant flood -netem "lat=15ms,jitter=10ms,loss=0.03"
 //
-// It exits nonzero when the tables diverge.
+// With -netem, both runs are shaped by the same seeded profile: counts
+// stay exactness-checked and the delivery-time distributions are
+// compared under a quantile tolerance. It exits nonzero when the tables
+// diverge.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"repro/flexnet"
+	"repro/internal/netem"
 	"repro/internal/parity"
 )
 
@@ -45,8 +50,16 @@ func main() {
 }
 
 // runParity executes one differential run and prints the report.
-func runParity(variant, transport string, n int, seed uint64) error {
+func runParity(variant, transport, netemSpec string, n int, seed uint64) error {
 	sc := parity.Scenario{N: n, Seed: seed}
+	if netemSpec != "" {
+		p, err := netem.ParseProfile(netemSpec)
+		if err != nil {
+			return err
+		}
+		sc.Netem = &p
+		sc.DistTolerance = 1.0
+	}
 	switch variant {
 	case "", "composed":
 		sc.Variant = parity.VariantComposed
@@ -82,6 +95,7 @@ func run() error {
 	parityMode := flag.Bool("parity", false, "run the sim-vs-transport differential harness instead of a node")
 	variant := flag.String("variant", "composed", "parity protocol variant: flood|adaptive|dandelion|composed")
 	transportKind := flag.String("transport", "mem", "parity substrate: mem|tcp")
+	netemSpec := flag.String("netem", "", "parity netem profile: preset or spec (shaped run; implies delivery-distribution check)")
 	clusterN := flag.Int("n", 0, "parity cluster size (0: variant default)")
 	seed := flag.Uint64("seed", 0, "parity scenario seed (0: default)")
 	id := flag.Int("id", 0, "node ID")
@@ -99,7 +113,7 @@ func run() error {
 	flag.Parse()
 
 	if *parityMode {
-		return runParity(*variant, *transportKind, *clusterN, *seed)
+		return runParity(*variant, *transportKind, *netemSpec, *clusterN, *seed)
 	}
 
 	addrBook, err := parsePeers(*peers)

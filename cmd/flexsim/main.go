@@ -1,15 +1,18 @@
 // Command flexsim regenerates the paper's evaluation artifacts. Each
-// experiment (e1…e14, see DESIGN.md §3) prints a table; `all` runs the
+// experiment (e1…e15, see DESIGN.md §3) prints a table; `all` runs the
 // full suite — `flexsim -md all` produces the Markdown tables embedded
 // in EXPERIMENTS.md.
 //
 // Trials execute over a worker pool (-par, default GOMAXPROCS); tables
 // are bit-identical at every parallelism. Network-scale experiments
-// (e1, e3–e5, e9, e10, a2, e14) honor -n/-degree overlay overrides.
+// (e1, e3–e5, e9, e10, a2, e14, e15) honor -n/-degree overlay
+// overrides, and -netem replaces an experiment's declared network
+// conditions with a named internal/netem preset or spec (latency
+// distribution, jitter, loss, churn).
 //
 // Usage:
 //
-//	flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] <experiment|all|list>
+//	flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] [-netem PROFILE] <experiment|all|list>
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 )
 
 func main() {
@@ -34,12 +38,14 @@ func run() int {
 	degree := flag.Int("degree", 0, "override overlay degree (0: paper default)")
 	trials := flag.Int("trials", 0, "override trial count (0: mode default)")
 	par := flag.Int("par", 0, "trial worker-pool size (0: GOMAXPROCS, 1: sequential)")
+	netemSpec := flag.String("netem", "", "network-condition profile override: preset or spec, e.g. wan, lossy, \"lat=20ms,jitter=10ms,loss=0.05\"")
 	exps := experiments.All()
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] <experiment|all|list>\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] [-netem PROFILE] <experiment|all|list>\n\nexperiments:\n")
 		for _, e := range exps {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
 		}
+		fmt.Fprintf(os.Stderr, "\nnetem presets: %s\n", netem.PresetNames(", "))
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,6 +53,14 @@ func run() int {
 		return 2
 	}
 	sc := experiments.Scenario{Quick: *quick, N: *n, Degree: *degree, Trials: *trials, Par: *par}
+	if *netemSpec != "" {
+		p, err := netem.ParseProfile(*netemSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -netem profile: %v\n", err)
+			return 2
+		}
+		sc.Netem = &p
+	}
 
 	render := func(t *metrics.Table) {
 		switch {

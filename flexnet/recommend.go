@@ -47,6 +47,13 @@ type AdvisorInput struct {
 	DCInterval, ADInterval time.Duration
 	// LatencyMs is the per-hop latency (default 50).
 	LatencyMs int
+	// LossRate is the expected per-link message loss probability in
+	// [0,1) (e.g. a netem profile's Loss). Loss thins the overlay the
+	// diffusion ball grows on — the advisor plans with an effective
+	// degree of Degree·(1−loss), deepening d to keep the coverage
+	// target — and degrades PredictedLatency by the expected
+	// 1/(1−loss) retransmission factor per hop.
+	LossRate float64
 }
 
 func (in *AdvisorInput) applyDefaults() {
@@ -87,6 +94,9 @@ func RecommendParams(in AdvisorInput) (*Recommendation, error) {
 	if in.AdversaryFraction < 0 || in.AdversaryFraction >= 1 {
 		return nil, errors.New("flexnet: AdversaryFraction must be in [0,1)")
 	}
+	if in.LossRate < 0 || in.LossRate >= 1 {
+		return nil, errors.New("flexnet: LossRate must be in [0,1)")
+	}
 
 	// Smallest k with 1/ceil(k(1−f)) ≤ target.
 	k := 2
@@ -97,21 +107,30 @@ func RecommendParams(in AdvisorInput) (*Recommendation, error) {
 		}
 	}
 
-	// Smallest d whose d-regular-tree ball reaches the cover target.
+	// Loss thins the effective overlay: each diffusion edge only
+	// carries its message with probability 1−loss, so the ball grows on
+	// an effective degree of Degree·(1−loss) (never below the line
+	// graph's 2) and each hop costs 1/(1−loss) expected transmissions.
+	effDeg := max(int(float64(in.Degree)*(1-in.LossRate)), 2)
+	retx := 1 / (1 - in.LossRate)
+
+	// Smallest d whose effective-degree tree ball reaches the cover
+	// target.
 	target := int(in.CoverFraction * float64(in.N))
 	d := 1
 	for ; d < 64; d++ {
-		if ballSizeOn(in.Degree, d) >= target {
+		if ballSizeOn(effDeg, d) >= target {
 			break
 		}
 	}
 
 	honest := int(math.Ceil(float64(k) * (1 - in.AdversaryFraction)))
-	hop := time.Duration(in.LatencyMs) * time.Millisecond
+	hop := time.Duration(float64(in.LatencyMs) * retx * float64(time.Millisecond))
 	// Submission waits ~1.5 DC rounds (announce + data), then d
 	// diffusion rounds, then a flood across the remaining diameter
-	// (≈ log_{deg−1} N hops on an expander).
-	floodHops := int(math.Ceil(math.Log(float64(in.N)) / math.Log(float64(max(in.Degree-1, 2)))))
+	// (≈ log_{deg−1} N hops on an expander) at the loss-degraded
+	// per-hop cost.
+	floodHops := int(math.Ceil(math.Log(float64(in.N)) / math.Log(float64(max(effDeg-1, 2)))))
 	latency := in.DCInterval*3/2 +
 		time.Duration(d)*in.ADInterval +
 		time.Duration(floodHops)*hop
@@ -120,7 +139,7 @@ func RecommendParams(in AdvisorInput) (*Recommendation, error) {
 		K:                           k,
 		D:                           d,
 		PredictedFloor:              1 / float64(honest),
-		PredictedBallSize:           ballSizeOn(in.Degree, d),
+		PredictedBallSize:           ballSizeOn(effDeg, d),
 		PredictedLatency:            latency,
 		PredictedPhase1MsgsPerRound: 3 * k * (k - 1),
 	}, nil

@@ -62,6 +62,96 @@ func TestRecommendParamsValidation(t *testing.T) {
 	if _, err := RecommendParams(AdvisorInput{TargetFloor: 0.2, AdversaryFraction: -0.1}); err == nil {
 		t.Error("negative adversary fraction accepted")
 	}
+	if _, err := RecommendParams(AdvisorInput{LossRate: 1.0}); err == nil {
+		t.Error("LossRate = 1 accepted")
+	}
+	if _, err := RecommendParams(AdvisorInput{LossRate: -0.1}); err == nil {
+		t.Error("negative LossRate accepted")
+	}
+}
+
+// TestRecommendParamsLoss is the table-driven check of the loss-aware
+// advisor: the effective degree Degree·(1−loss) drives the ball (and
+// hence d), and the per-hop flood latency degrades by the 1/(1−loss)
+// retransmission factor. Zero loss must reproduce the lossless
+// recommendation exactly.
+func TestRecommendParamsLoss(t *testing.T) {
+	base := AdvisorInput{N: 1000, Degree: 8, CoverFraction: 0.1}
+	cases := []struct {
+		loss    float64
+		wantDeg int // effective degree the plan must use
+	}{
+		{0, 8},
+		{0.05, 7}, // 8·0.95 = 7.6 → 7
+		{0.25, 6}, // 8·0.75 = 6
+		{0.5, 4},  // 8·0.5 = 4
+		{0.95, 2}, // floor clamps at the line graph
+	}
+	var lossless *Recommendation
+	prev := time.Duration(0)
+	prevD := 0
+	for _, c := range cases {
+		in := base
+		in.LossRate = c.loss
+		rec, err := RecommendParams(in)
+		if err != nil {
+			t.Fatalf("loss %v: %v", c.loss, err)
+		}
+		// d minimal on the effective-degree tree, and the ball read off
+		// the same tree.
+		if rec.PredictedBallSize != ballSizeOn(c.wantDeg, rec.D) {
+			t.Errorf("loss %v: ball %d not computed on effective degree %d",
+				c.loss, rec.PredictedBallSize, c.wantDeg)
+		}
+		if rec.PredictedBallSize < 100 {
+			t.Errorf("loss %v: ball %d misses the 10%% cover target", c.loss, rec.PredictedBallSize)
+		}
+		if rec.D > 1 && ballSizeOn(c.wantDeg, rec.D-1) >= 100 {
+			t.Errorf("loss %v: D = %d not minimal", c.loss, rec.D)
+		}
+		// Degradation is monotone: more loss never yields a faster plan
+		// or a shallower diffusion.
+		if rec.PredictedLatency < prev {
+			t.Errorf("loss %v: latency %v improved on %v at lower loss", c.loss, rec.PredictedLatency, prev)
+		}
+		if rec.D < prevD {
+			t.Errorf("loss %v: D = %d shallower than %d at lower loss", c.loss, rec.D, prevD)
+		}
+		prev, prevD = rec.PredictedLatency, rec.D
+		if c.loss == 0 {
+			lossless = rec
+		}
+		// Loss must not touch the privacy side of the plan.
+		if rec.K != lossless.K || rec.PredictedFloor != lossless.PredictedFloor {
+			t.Errorf("loss %v: privacy parameters drifted (k %d, floor %v)", c.loss, rec.K, rec.PredictedFloor)
+		}
+	}
+	// Spot-check the retransmission factor: at 50% loss the flood term
+	// doubles per hop, so with intervals zeroed out the latency is
+	// exactly floodHops·hop·2 ... asserted via the lossless ratio on
+	// the flood-only configuration.
+	floodOnly := AdvisorInput{N: 1000, Degree: 8, CoverFraction: 0.1,
+		DCInterval: time.Nanosecond, ADInterval: time.Nanosecond, LatencyMs: 100}
+	clean, err := RecommendParams(floodOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floodOnly.LossRate = 0.5
+	lossy, err := RecommendParams(floodOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective degree halves (8→4), so hops go from ceil(log7 1000)=4
+	// to ceil(log3 1000)=7, each at double cost: 1400ms vs 400ms.
+	wantClean := 4 * 100 * time.Millisecond
+	wantLossy := 7 * 200 * time.Millisecond
+	round := func(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+	if round(clean.PredictedLatency) != wantClean {
+		t.Errorf("clean flood latency %v, want %v", round(clean.PredictedLatency), wantClean)
+	}
+	if round(lossy.PredictedLatency) != wantLossy {
+		t.Errorf("lossy flood latency %v, want %v", round(lossy.PredictedLatency), wantLossy)
+	}
 }
 
 func TestBallSizeOnMatchesLineAndTree(t *testing.T) {

@@ -37,7 +37,7 @@ func A1AlphaAblation(sc Scenario) *metrics.Table {
 			return newAdWorker(sc, g)
 		}, func(w *adWorker, trial int) int {
 			tracker := &tokenTracker{last: proto.NoNode}
-			net, shared := w.trial(g, uint64(trial+1))
+			net, shared := w.trial(sc, g, uint64(trial+1))
 			net.AddTap(tracker)
 			net.SetHandlers(func(id proto.NodeID) proto.Handler {
 				return adaptive.NewAt(adaptive.Config{

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/flood"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -32,7 +33,7 @@ func E1Messages(sc Scenario) *metrics.Table {
 		g := regular(n, deg, seed)
 
 		// Flood-and-prune.
-		netF := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(50 * time.Millisecond)})
+		netF := sim.NewNetwork(g, sc.netOptions(seed, netem.WAN))
 		fShared := flood.NewShared(n)
 		netF.SetHandlers(func(id proto.NodeID) proto.Handler { return flood.NewAt(fShared, id) })
 		netF.Start()
@@ -46,7 +47,7 @@ func E1Messages(sc Scenario) *metrics.Table {
 		// Adaptive diffusion until full coverage (D effectively
 		// unbounded; we stop as soon as every peer is infected and
 		// count the messages sent up to that point).
-		netA := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(50 * time.Millisecond)})
+		netA := sim.NewNetwork(g, sc.netOptions(seed, netem.WAN))
 		aShared := adaptive.NewShared(n)
 		netA.SetHandlers(func(id proto.NodeID) proto.Handler {
 			return adaptive.NewAt(adaptive.Config{D: 64, RoundInterval: 500 * time.Millisecond, TreeDegree: deg}, aShared, id)

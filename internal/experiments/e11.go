@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dcnet"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -42,7 +43,9 @@ func E11Blame(sc Scenario) *metrics.Table {
 		}
 		codec := wire.NewCodec()
 		dcnet.RegisterMessages(codec)
-		net := sim.NewNetwork(topo, sim.Options{Seed: seed, Latency: sim.ConstLatency(5 * time.Millisecond), Codec: codec})
+		opts := sc.netOptions(seed, netem.LAN)
+		opts.Codec = codec
+		net := sim.NewNetwork(topo, opts)
 		all := make([]proto.NodeID, g)
 		for i := range all {
 			all[i] = proto.NodeID(i)

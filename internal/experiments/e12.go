@@ -8,6 +8,7 @@ import (
 	"repro/internal/dcnet"
 	"repro/internal/flood"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/sim"
 )
@@ -52,7 +53,7 @@ func (*phaseTracer) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []b
 // how much of the network it had covered when it ended.
 // E12 is a single trace, not a trial family; it runs sequentially and
 // ignores the scenario's size and parallelism knobs.
-func E12PhaseTrace(Scenario) *metrics.Table {
+func E12PhaseTrace(sc Scenario) *metrics.Table {
 	const n, deg, k, d = 100, 6, 3, 2 // Fig. 5 uses k=3, d=2
 	t := metrics.NewTable(
 		"E12 — one broadcast through the three phases (N=100, k=3, d=2; Fig. 5 parameters)",
@@ -64,7 +65,7 @@ func E12PhaseTrace(Scenario) *metrics.Table {
 	inGroup := map[proto.NodeID]bool{10: true, 40: true, 70: true}
 
 	tracer := &phaseTracer{stats: make(map[string]*phaseStat)}
-	net := sim.NewNetwork(g, sim.Options{Seed: 3, Latency: sim.ConstLatency(20 * time.Millisecond)})
+	net := sim.NewNetwork(g, sc.netOptions(3, netem.Metro))
 	tracer.net = net
 	net.AddTap(tracer)
 	net.SetHandlers(func(id proto.NodeID) proto.Handler {

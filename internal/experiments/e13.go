@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dissent"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -64,7 +65,10 @@ func dissentRound(n int, hop time.Duration) (time.Duration, int64) {
 		panic(err)
 	}
 	secrets := dissent.SharedLayerSecrets(core.SimHashes(n))
-	net := sim.NewNetwork(g, sim.Options{Seed: uint64(n) + 7, Latency: sim.ConstLatency(hop)})
+	// The hop latency is E13's sweep axis, declared as an on-the-fly
+	// constant profile rather than a Scenario-threaded preset.
+	opts := sim.Options{Seed: uint64(n) + 7, Latency: netem.ConstProfile("hop", hop).Model()}
+	net := sim.NewNetwork(g, opts)
 	var publishedAt time.Duration
 	all := make([]proto.NodeID, n)
 	for i := range all {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/flood"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -76,7 +77,7 @@ func E14ScaleSweep(sc Scenario) *metrics.Table {
 
 		row("flood-and-prune", n, runner.Map(nTrials, sc.Par, func(trial int) sample {
 			seed := uint64(trial + 1)
-			net := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(50 * time.Millisecond)})
+			net := sim.NewNetwork(g, sc.netOptions(seed, netem.WAN))
 			shared := flood.NewShared(n)
 			net.SetHandlers(func(id proto.NodeID) proto.Handler { return flood.NewAt(shared, id) })
 			net.Start()
@@ -94,7 +95,7 @@ func E14ScaleSweep(sc Scenario) *metrics.Table {
 
 		row("adaptive diffusion", n, runner.Map(nTrials, sc.Par, func(trial int) sample {
 			seed := uint64(trial + 1)
-			net := sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(50 * time.Millisecond)})
+			net := sim.NewNetwork(g, sc.netOptions(seed, netem.WAN))
 			shared := adaptive.NewShared(n)
 			net.SetHandlers(func(id proto.NodeID) proto.Handler {
 				return adaptive.NewAt(adaptive.Config{D: 64, RoundInterval: 500 * time.Millisecond, TreeDegree: deg}, shared, id)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dcnet"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -14,14 +15,16 @@ import (
 
 // dcGroup runs one DC-net group of size g for `rounds` rounds and
 // returns (messages, bytes, rounds completed).
-func dcGroup(g int, mode dcnet.Mode, policy dcnet.Policy, rounds int, seed uint64, queue func(i int, m *dcnet.Member)) (int64, int64, int) {
+func dcGroup(sc Scenario, g int, mode dcnet.Mode, policy dcnet.Policy, rounds int, seed uint64, queue func(i int, m *dcnet.Member)) (int64, int64, int) {
 	topo, err := topology.Complete(g)
 	if err != nil {
 		panic(err)
 	}
 	codec := wire.NewCodec()
 	dcnet.RegisterMessages(codec)
-	net := sim.NewNetwork(topo, sim.Options{Seed: seed, Latency: sim.ConstLatency(5 * time.Millisecond), Codec: codec})
+	opts := sc.netOptions(seed, netem.LAN)
+	opts.Codec = codec
+	net := sim.NewNetwork(topo, opts)
 	members := make([]*dcnet.Member, g)
 	all := make([]proto.NodeID, g)
 	for i := range all {
@@ -83,8 +86,8 @@ func E2DCNetComplexity(sc Scenario) *metrics.Table {
 	}
 	samples := runner.Map(len(sizes), sc.Par, func(i int) sample {
 		g := sizes[i]
-		msgs, _, done := dcGroup(g, dcnet.ModeFixed, dcnet.PolicyNone, rounds, uint64(g), nil)
-		msgsBlame, _, doneBlame := dcGroup(g, dcnet.ModeFixed, dcnet.PolicyBlame, rounds, uint64(g), nil)
+		msgs, _, done := dcGroup(sc, g, dcnet.ModeFixed, dcnet.PolicyNone, rounds, uint64(g), nil)
+		msgsBlame, _, doneBlame := dcGroup(sc, g, dcnet.ModeFixed, dcnet.PolicyBlame, rounds, uint64(g), nil)
 		return sample{
 			done:          done,
 			perRound:      float64(msgs) / float64(done),

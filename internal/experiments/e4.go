@@ -8,6 +8,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/flood"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -84,8 +85,12 @@ func E4FloodDeanonymization(sc Scenario) *metrics.Table {
 		timingConst, timingJit proto.NodeID
 		anonSet                float64
 	}
-	latConst := sim.ConstLatency(50 * time.Millisecond)
-	latJit := sim.UniformLatency{Min: 25 * time.Millisecond, Max: 75 * time.Millisecond}
+	// E4's measured axis is the network condition itself (constant vs
+	// jittered WAN links), so both arms are fixed presets rather than a
+	// single Scenario-threaded profile; the rng-mode models reproduce
+	// the former ConstLatency/UniformLatency literals bit-for-bit.
+	latConst := netem.WAN.Model()
+	latJit := netem.WANJitter.Model()
 	for _, f := range fractions {
 		samples := runner.MapWorker(nTrials, sc.Par, func() *e4Worker {
 			return newE4Worker(sc, g, n, latConst, latJit)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -26,15 +27,15 @@ func newAdWorker(sc Scenario, g *topology.Graph) *adWorker {
 		return &adWorker{}
 	}
 	return &adWorker{
-		net:    sim.NewNetwork(g, sim.Options{Latency: sim.ConstLatency(time.Millisecond)}),
+		net:    sim.NewNetwork(g, sc.netOptions(0, netem.Loopback)),
 		shared: adaptive.NewShared(g.N()),
 	}
 }
 
 // trial returns the network and shared state ready for one seeded run.
-func (w *adWorker) trial(g *topology.Graph, seed uint64) (*sim.Network, *adaptive.Shared) {
+func (w *adWorker) trial(sc Scenario, g *topology.Graph, seed uint64) (*sim.Network, *adaptive.Shared) {
 	if w.net == nil {
-		return sim.NewNetwork(g, sim.Options{Seed: seed, Latency: sim.ConstLatency(time.Millisecond)}),
+		return sim.NewNetwork(g, sc.netOptions(seed, netem.Loopback)),
 			adaptive.NewShared(g.N())
 	}
 	w.net.Reset(seed)
@@ -107,7 +108,7 @@ func E6Obfuscation(sc Scenario) *metrics.Table {
 			return newAdWorker(sc, g)
 		}, func(w *adWorker, trial int) int {
 			tracker := &tokenTracker{last: proto.NoNode}
-			net, shared := w.trial(g, uint64(trial+1))
+			net, shared := w.trial(sc, g, uint64(trial+1))
 			net.AddTap(tracker)
 			net.SetHandlers(func(id proto.NodeID) proto.Handler {
 				return adaptive.NewAt(adaptive.Config{D: r.d, RoundInterval: 100 * time.Millisecond, TreeDegree: r.deg}, shared, id)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dcnet"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -41,7 +42,9 @@ func E7AnnounceOptimization(sc Scenario) *metrics.Table {
 		}
 		codec := wire.NewCodec()
 		dcnet.RegisterMessages(codec)
-		net := sim.NewNetwork(topo, sim.Options{Seed: seed, Latency: sim.ConstLatency(5 * time.Millisecond), Codec: codec})
+		opts := sc.netOptions(seed, netem.LAN)
+		opts.Codec = codec
+		net := sim.NewNetwork(topo, opts)
 		members := make([]*dcnet.Member, g)
 		all := make([]proto.NodeID, g)
 		for i := range all {

@@ -20,7 +20,9 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/proto"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -46,6 +48,13 @@ type Scenario struct {
 	// either way — TestNetworkReuseBitIdentical enforces it — so this
 	// exists only as that test's comparison arm.
 	FreshNet bool
+	// Netem overrides the network-condition profile an experiment
+	// declares (`flexsim -netem`): every trial network then runs under
+	// this profile instead of the experiment's preset. Experiments
+	// whose measured axis is the network condition itself (E4's
+	// const-vs-jitter arms, E13's hop sweep, E15's impairment sweep)
+	// keep their own conditions.
+	Netem *netem.Profile
 }
 
 // Quick returns the CI scenario (fewer trials, default size).
@@ -91,6 +100,23 @@ func (sc Scenario) degree(def int) int {
 	return def
 }
 
+// netOptions builds one trial's sim options from the experiment's
+// declared condition preset, honoring a -netem override. Unimpaired
+// profiles (plain latency/jitter) route through the rng-mode latency
+// model — bit-compatible with the literals they replaced, so golden
+// tables are unchanged — while impaired profiles (loss, churn) take the
+// shaped hash-mode path.
+func (sc Scenario) netOptions(seed uint64, def netem.Profile) sim.Options {
+	p := def
+	if sc.Netem != nil {
+		p = *sc.Netem
+	}
+	if p.Impaired() {
+		return sim.Options{Seed: seed, Netem: &p}
+	}
+	return sim.Options{Seed: seed, Latency: p.Model()}
+}
+
 // Experiment is a named, runnable reproduction of one paper artifact.
 type Experiment struct {
 	ID    string
@@ -118,6 +144,7 @@ var all = [...]Experiment{
 	{ID: "e12", Title: "Fig. 5: three-phase trace", Run: E12PhaseTrace},
 	{ID: "e13", Title: "§III-B: Dissent announcement startup scaling", Run: E13DissentStartup},
 	{ID: "e14", Title: "scale sweep: flood + adaptive diffusion at N=1k/10k/100k", Run: E14ScaleSweep, Timed: true},
+	{ID: "e15", Title: "robustness: coverage/latency/overhead under loss and churn (netem sweep)", Run: E15Robustness},
 	{ID: "a1", Title: "ablation: derived α(ρ,h) vs naive pass probabilities", Run: A1AlphaAblation},
 	{ID: "a2", Title: "parameter advisor: (k,d) for a target privacy/latency budget", Run: A2ParameterAdvisor},
 }

@@ -1,0 +1,25 @@
+package metrics
+
+import "time"
+
+// DurationQuantile reads the q-th quantile of an ascending-sorted
+// duration sample, interpolating linearly between order statistics —
+// the one quantile definition shared by the netem empirical
+// distribution, the parity delivery-time diff, and the E15 robustness
+// table, so their semantics cannot drift apart.
+func DurationQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + time.Duration(frac*float64(sorted[i+1]-sorted[i]))
+}

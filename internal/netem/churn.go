@@ -1,0 +1,124 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Churn is a seeded node-dynamicity schedule: a Fraction of nodes crash
+// and rejoin on a fixed cadence. Which nodes churn and where in the
+// period each one sits are hash decisions on the run seed, so the
+// schedule is a pure function of (Churn, n, seed) — Dandelion++-style
+// intermittent participation without a mutable scheduler.
+type Churn struct {
+	// Fraction of nodes that cycle, in [0,1].
+	Fraction float64
+	// Start is when the first crash window opens (default 1s — after
+	// t=0 broadcasts have been injected).
+	Start time.Duration
+	// Down is how long a churning node stays offline per cycle
+	// (default 2s).
+	Down time.Duration
+	// Period spaces crash cycles and bounds the per-node phase offset
+	// (crashes spread across [Start, Start+Period)). Default 10s; with
+	// more than one cycle it is clamped to ≥ Down so a node cannot
+	// crash again while still down, but a single-cycle schedule may
+	// phase a long outage across a short window (Period < Down).
+	Period time.Duration
+	// Cycles bounds how many crash/rejoin cycles each churning node
+	// performs (default 1), keeping the event schedule finite so
+	// drain-the-queue runs still terminate.
+	Cycles int
+}
+
+// Enabled reports whether the schedule does anything.
+func (c Churn) Enabled() bool { return c.Fraction > 0 }
+
+func (c Churn) validate() error {
+	// Inverted comparison so NaN is rejected too.
+	if !(c.Fraction >= 0 && c.Fraction <= 1) {
+		return fmt.Errorf("netem: churn fraction %v outside [0,1]", c.Fraction)
+	}
+	if c.Start < 0 || c.Down < 0 || c.Period < 0 {
+		return fmt.Errorf("netem: negative churn timing")
+	}
+	// Bounds keep the expanded schedule finite and the cycle arithmetic
+	// clear of Duration overflow.
+	const maxTiming = 100 * time.Hour
+	if c.Start > maxTiming || c.Down > maxTiming || c.Period > maxTiming {
+		return fmt.Errorf("netem: churn timing beyond %v", maxTiming)
+	}
+	if c.Cycles < 0 || c.Cycles > 10000 {
+		return fmt.Errorf("netem: churn cycles %d outside [0,10000]", c.Cycles)
+	}
+	return nil
+}
+
+// norm resolves defaults.
+func (c Churn) norm() Churn {
+	if c.Start == 0 {
+		c.Start = time.Second
+	}
+	if c.Down <= 0 {
+		c.Down = 2 * time.Second
+	}
+	if c.Period <= 0 {
+		c.Period = 10 * time.Second
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 1
+	}
+	if c.Cycles > 1 && c.Period < c.Down {
+		c.Period = c.Down
+	}
+	return c
+}
+
+// ChurnEvent is one scheduled state flip.
+type ChurnEvent struct {
+	At   time.Duration
+	Node proto.NodeID
+	Up   bool // false: crash; true: rejoin
+}
+
+// Events expands the schedule for n nodes under a seed, sorted by time
+// (ties broken by node then direction). Selection and phase are hash
+// decisions, so two runtimes — or a Network reset to the same seed —
+// derive the identical schedule.
+func (c Churn) Events(n int, seed uint64) []ChurnEvent {
+	if !c.Enabled() || n <= 0 {
+		return nil
+	}
+	c = c.norm()
+	thr := uint64(c.Fraction * (1 << 53))
+	var evs []ChurnEvent
+	for id := 0; id < n; id++ {
+		w := linkWord(seed, uint64(id), 0, purposeChurn)
+		if w>>11 >= thr {
+			continue
+		}
+		// Spread churners across the period so crashes do not land as
+		// one synchronized wave.
+		phase := Uniform{Hi: c.Period - 1}.At(linkWord(seed, uint64(id), 1, purposeChurn))
+		for k := 0; k < c.Cycles; k++ {
+			down := c.Start + phase + time.Duration(k)*c.Period
+			evs = append(evs,
+				ChurnEvent{At: down, Node: proto.NodeID(id)},
+				ChurnEvent{At: down + c.Down, Node: proto.NodeID(id), Up: true},
+			)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		if evs[i].Node != evs[j].Node {
+			return evs[i].Node < evs[j].Node
+		}
+		return !evs[i].Up && evs[j].Up
+	})
+	return evs
+}

@@ -1,0 +1,44 @@
+package netem
+
+import "testing"
+
+// FuzzParseProfile requires the spec parser to never panic on arbitrary
+// input and — the contract fuzzing earns its keep on — to be stable
+// under its own rendering: whatever parses must round-trip through
+// String to an identical profile, and a parsed profile must always pass
+// Validate (Parse never hands back an unusable value).
+func FuzzParseProfile(f *testing.F) {
+	for _, p := range Presets() {
+		f.Add(p.Name)
+		f.Add(p.String())
+	}
+	f.Add("lat=20ms,jitter=10ms,loss=0.05")
+	f.Add("lat=25ms..75ms,churn=0.2,down=2s,period=30s,cycles=2,start=500ms")
+	f.Add("lat=lognormal:80ms:0.5")
+	f.Add("lat=emp:10ms/20ms/45ms/90ms")
+	f.Add("name=x,loss=0.999")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseProfile(%q) returned invalid profile: %v", spec, err)
+		}
+		s := p.String()
+		again, err := ParseProfile(s)
+		if err != nil {
+			t.Fatalf("round trip of %q failed: String %q does not parse: %v", spec, s, err)
+		}
+		if again.String() != s {
+			t.Fatalf("round trip of %q not a fixed point: %q vs %q", spec, s, again.String())
+		}
+		// A parsed profile must be usable: shaper decisions and churn
+		// expansion must not panic on any accepted spec.
+		sh := p.Shaper(1)
+		if d, drop := sh.Decide(1, 2, 3); !drop && d < 0 {
+			t.Fatalf("negative delay %v from parsed profile %q", d, spec)
+		}
+		_ = p.Churn.Events(16, 1)
+	})
+}

@@ -1,0 +1,112 @@
+package parity
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// distFloor is the absolute slack added to every quantile tolerance: a
+// real cluster pays scheduler and syscall overhead per hop that the
+// virtual-time run does not, and on a race-instrumented CI host that
+// overhead is tens of milliseconds across a broadcast.
+const distFloor = 250 * time.Millisecond
+
+// distQuantiles are the probe points of the distribution check.
+var distQuantiles = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+
+// QuantileDiff is one probe of the delivery-time comparison.
+type QuantileDiff struct {
+	Q         float64
+	Sim, Real time.Duration
+	OK        bool
+}
+
+// DistDiff is the tolerance-checked comparison of the two delivery-time
+// distributions — the quantity that grows beyond exactness once netem
+// conditions shape both runs: counts stay exactly equal (same seeded
+// drops), but a wall-clock run can only track the virtual-time delay
+// model statistically.
+type DistDiff struct {
+	// N is how many nodes delivered on both sides (the compared sample).
+	N int
+	// Quantiles holds the per-probe comparison: |real−sim| must stay
+	// within tol×sim plus a fixed floor.
+	Quantiles []QuantileDiff
+	// KS is the two-sample Kolmogorov–Smirnov statistic
+	// sup|F_sim − F_real| — reported for diagnosis, not asserted (the
+	// quantile checks are the declared tolerance).
+	KS float64
+	// OK is the conjunction of the quantile checks.
+	OK bool
+}
+
+// compareDist builds the distribution diff from the two delivery-time
+// vectors (-1 marks an undelivered node; only nodes delivered on both
+// sides enter the sample — membership mismatches are flagged separately
+// as delivery-set divergences).
+func compareDist(simT, realT []time.Duration, tol float64) *DistDiff {
+	var s, r []time.Duration
+	for i := range simT {
+		if i < len(realT) && simT[i] >= 0 && realT[i] >= 0 {
+			s = append(s, simT[i])
+			r = append(r, realT[i])
+		}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+	d := &DistDiff{N: len(s), OK: true, KS: ksStat(s, r)}
+	for _, q := range distQuantiles {
+		qs, qr := metrics.DurationQuantile(s, q), metrics.DurationQuantile(r, q)
+		diff := qr - qs
+		if diff < 0 {
+			diff = -diff
+		}
+		// tol ≤ 0 means report-only: every probe passes.
+		ok := tol <= 0 || diff <= time.Duration(tol*float64(qs))+distFloor
+		d.Quantiles = append(d.Quantiles, QuantileDiff{Q: q, Sim: qs, Real: qr, OK: ok})
+		if !ok {
+			d.OK = false
+		}
+	}
+	return d
+}
+
+// ksStat is the two-sample KS statistic over two sorted samples.
+func ksStat(a, b []time.Duration) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var i, j int
+	var d float64
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := fa - fb; diff > d {
+			d = diff
+		} else if -diff > d {
+			d = -diff
+		}
+	}
+	return d
+}
+
+// String renders the diff compactly for report notes.
+func (d *DistDiff) String() string {
+	s := fmt.Sprintf("delivery-time distribution over %d nodes: KS D=%.3f;", d.N, d.KS)
+	for _, q := range d.Quantiles {
+		mark := "="
+		if !q.OK {
+			mark = "DIFF"
+		}
+		s += fmt.Sprintf(" p%02.0f %v/%v %s", q.Q*100, q.Sim.Round(time.Millisecond), q.Real.Round(time.Millisecond), mark)
+	}
+	return s
+}

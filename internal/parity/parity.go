@@ -44,6 +44,7 @@ import (
 	"repro/internal/dcnet"
 	"repro/internal/flood"
 	"repro/internal/group"
+	"repro/internal/netem"
 	"repro/internal/node"
 	"repro/internal/proto"
 	"repro/internal/topology"
@@ -146,6 +147,26 @@ type Scenario struct {
 	// Q is Dandelion's per-hop fluff probability (default 0.25).
 	Q float64
 
+	// Netem applies one network-condition profile to both runs: the sim
+	// delivers through Options.Netem and every transport node shapes its
+	// sends through Config.Shaper, built from the same (profile, seed) —
+	// so loss and hold decisions are the identical pure function on both
+	// sides, and per-type counts/bytes/coverage stay exactness-checked
+	// even on a lossy, jittered network. Delivery-time distributions are
+	// the quantity that only matches statistically; set DistTolerance to
+	// check them. Churn profiles are rejected (a wall-clock cluster
+	// cannot replay virtual-time crashes), as is any variant other than
+	// flood when the profile carries loss: flood is the variant whose
+	// per-type totals are provably independent of arrival order under
+	// per-link seeded drops (each directed link carries at most one data
+	// message, so every drop decision is a pure link property).
+	Netem *netem.Profile
+	// DistTolerance, when positive, checks the delivery-time
+	// distributions: each probed quantile must satisfy
+	// |real − sim| ≤ DistTolerance × sim + 250 ms. Zero reports the
+	// distribution diff without asserting.
+	DistTolerance float64
+
 	// Timeout bounds the real run's wall clock (default 60 s).
 	Timeout time.Duration
 	// WallTolerance, when positive, asserts the real run's wall-clock
@@ -241,8 +262,23 @@ func (sc *Scenario) validate() error {
 	if sc.Variant == VariantComposed && !sc.inGroup(sc.Source) {
 		return fmt.Errorf("parity: composed source %d is not a group member %v (set Scenario.Source to a member)", sc.Source, sc.Group)
 	}
+	if sc.Netem != nil {
+		if err := sc.Netem.Validate(); err != nil {
+			return err
+		}
+		if sc.Netem.Churn.Enabled() {
+			return fmt.Errorf("parity: churn profiles are simulator-only (no faithful wall-clock replay)")
+		}
+		if sc.Netem.Loss > 0 && sc.Variant != VariantFlood {
+			return fmt.Errorf("parity: loss profiles require the flood variant (the only one whose counts are arrival-order independent under per-link drops)")
+		}
+	}
 	return nil
 }
+
+// lossy reports whether the scenario's profile sheds messages — the
+// runs then settle on counter stability instead of full coverage.
+func (sc *Scenario) lossy() bool { return sc.Netem != nil && sc.Netem.Loss > 0 }
 
 // ring reports whether the scenario runs on a ring overlay.
 func (sc *Scenario) ring() bool {

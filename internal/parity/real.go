@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netem"
 	"repro/internal/node"
 	"repro/internal/proto"
 	"repro/internal/sim"
@@ -68,8 +69,12 @@ type cluster struct {
 	nodes     []*transport.Node
 	handlers  []proto.Handler
 	delivered []atomic.Bool
-	target    proto.MsgID
-	started   time.Time
+	// deliveredAt holds per-node first-delivery wall times (nanoseconds
+	// since injection) — the sample the distribution check compares
+	// against the sim's virtual delivery times.
+	deliveredAt []atomic.Int64
+	target      proto.MsgID
+	started     time.Time
 
 	mu       sync.Mutex
 	lastSeen time.Time // wall time of the most recent delivery
@@ -90,13 +95,20 @@ func (sc *Scenario) runReal() (*Accounting, error) {
 	}
 
 	c := &cluster{
-		sc:        sc,
-		nodes:     make([]*transport.Node, sc.N),
-		handlers:  make([]proto.Handler, sc.N),
-		delivered: make([]atomic.Bool, sc.N),
-		target:    proto.NewMsgID(sc.Payload),
+		sc:          sc,
+		nodes:       make([]*transport.Node, sc.N),
+		handlers:    make([]proto.Handler, sc.N),
+		delivered:   make([]atomic.Bool, sc.N),
+		deliveredAt: make([]atomic.Int64, sc.N),
+		target:      proto.NewMsgID(sc.Payload),
 	}
 	defer c.close()
+
+	var shaper *netem.Shaper
+	if sc.Netem != nil {
+		sh := sc.Netem.Shaper(sc.Seed)
+		shaper = &sh
+	}
 
 	hashes := core.SimHashes(sc.N)
 	codec := newCodec()
@@ -128,10 +140,13 @@ func (sc *Scenario) runReal() (*Accounting, error) {
 			Seed:       seed1,
 			SeedStream: seed2,
 			Net:        substrate,
+			Shaper:     shaper,
 			OnDeliver: func(mid proto.MsgID, _ []byte) {
 				if mid == c.target && c.delivered[id].CompareAndSwap(false, true) {
+					now := time.Now()
+					c.deliveredAt[id].Store(int64(now.Sub(c.started)))
 					c.mu.Lock()
-					c.lastSeen = time.Now()
+					c.lastSeen = now
 					c.mu.Unlock()
 				}
 			},
@@ -191,8 +206,13 @@ func (c *cluster) awaitQuiescence() error {
 	// condition keep the short window (stability there only confirms
 	// the tail has drained).
 	required := stablePolls
-	stabilityOnly := c.sc.Fault != nil || c.sc.Variant == VariantAdaptive
-	if stabilityOnly {
+	stabilityOnly := c.sc.Fault != nil || c.sc.Variant == VariantAdaptive || c.sc.lossy()
+	if stabilityOnly || c.sc.Netem != nil {
+		// Any shaped run needs the widened window even when coverage is
+		// its completion signal: duplicate frames tx-counted at send can
+		// still sit in the netem delay line after the last delivery, and
+		// snapshotting before they land fires a spurious in-flight
+		// divergence.
 		required = c.settlePolls()
 	}
 	var lastFP [2]int64
@@ -233,7 +253,10 @@ func (c *cluster) awaitQuiescence() error {
 }
 
 // settlePolls converts the variant's longest idle gap (doubled, with a
-// 200 ms floor) into a poll count for the stability-only window.
+// 200 ms floor) into a poll count for the stability-only window. Shaped
+// runs widen the window past the profile's worst-case hold: a frame in
+// a netem delay line was tx-counted already, so the counters can look
+// still while it is in flight.
 func (c *cluster) settlePolls() int {
 	gap := 200 * time.Millisecond
 	if c.sc.Variant == VariantComposed && 2*c.sc.DCInterval > gap {
@@ -241,6 +264,11 @@ func (c *cluster) settlePolls() int {
 	}
 	if (c.sc.Variant == VariantComposed || c.sc.Variant == VariantAdaptive) && 2*c.sc.ADInterval > gap {
 		gap = 2 * c.sc.ADInterval
+	}
+	if c.sc.Netem != nil {
+		if hold := 2 * c.sc.Netem.MaxDelay(); hold > gap {
+			gap = hold
+		}
 	}
 	return int(gap / pollInterval)
 }
@@ -335,6 +363,13 @@ func (c *cluster) accounting(elapsed time.Duration) *Accounting {
 	acct := newAccounting()
 	acct.Elapsed = elapsed
 	acct.Delivered = c.deliveredCount()
+	acct.DeliveryTimes = make([]time.Duration, c.sc.N)
+	for i := range acct.DeliveryTimes {
+		acct.DeliveryTimes[i] = -1
+		if c.delivered[i].Load() {
+			acct.DeliveryTimes[i] = time.Duration(c.deliveredAt[i].Load())
+		}
+	}
 	for _, n := range c.nodes {
 		s := n.Stats()
 		for t, m := range s.TxMsgs {
@@ -349,6 +384,7 @@ func (c *cluster) accounting(elapsed time.Duration) *Accounting {
 		acct.TxFrameBytes += s.TxFrameBytes
 		acct.RxMsgs += sumCounts(s.RxMsgs)
 		acct.Dropped += s.TxDropped
+		acct.NetemDropped += s.TxShaperDropped
 		acct.BadFrames += s.RxBadFrames
 	}
 	return acct

@@ -29,6 +29,19 @@ type Accounting struct {
 	Delivered  int
 	Elapsed    time.Duration
 
+	// NetemDropped counts messages the run's netem loss model killed
+	// (zero without a shaped scenario). The two sides may differ by a
+	// handful on tie-flips — a node whose two candidate first-senders
+	// arrive near-simultaneously excludes a different neighbor from its
+	// forwards, consulting a different link's drop word — but every such
+	// divergent link points at an already-delivered node, so counts,
+	// bytes and coverage stay exact (see Scenario.Netem).
+	NetemDropped int64
+	// DeliveryTimes is each node's first-delivery time (virtual for the
+	// sim, wall-clock since injection for the cluster); -1 marks an
+	// undelivered node.
+	DeliveryTimes []time.Duration
+
 	// Real-run extras (zero on the sim side): frames put on the stream
 	// including connection handshakes, their framed byte total, messages
 	// received across the cluster, queue-full drops, and codec-rejected
@@ -95,7 +108,13 @@ type Report struct {
 	// TimingOK is the wall-tolerance check (always true when no
 	// tolerance was declared).
 	TimingOK bool
-	OK       bool
+	// Dist is the delivery-time distribution comparison (nil unless
+	// both sides recorded per-node times); DistOK is its
+	// quantile-tolerance verdict, always true when no DistTolerance was
+	// declared.
+	Dist   *DistDiff
+	DistOK bool
+	OK     bool
 }
 
 // compare diffs the two accountings type by type.
@@ -161,6 +180,26 @@ func compare(sc *Scenario, simA, realA *Accounting) *Report {
 	if simA.Delivered != realA.Delivered {
 		r.Divergences = append(r.Divergences, Divergence{Phase: "delivery", Type: "coverage", Kind: "delivered", Sim: int64(simA.Delivered), Real: int64(realA.Delivered)})
 	}
+	// Per-node delivery-set equality — stricter than the count above:
+	// with identical seeds (and, when shaped, identical drop decisions)
+	// the same nodes must deliver, not merely the same number of them.
+	if len(simA.DeliveryTimes) > 0 && len(realA.DeliveryTimes) == len(simA.DeliveryTimes) {
+		var onlySim, onlyReal int64
+		for i := range simA.DeliveryTimes {
+			simHas, realHas := simA.DeliveryTimes[i] >= 0, realA.DeliveryTimes[i] >= 0
+			if simHas && !realHas {
+				onlySim++
+			} else if realHas && !simHas {
+				onlyReal++
+			}
+		}
+		if onlySim > 0 || onlyReal > 0 {
+			r.Divergences = append(r.Divergences, Divergence{
+				Phase: "delivery", Type: "set", Kind: "delivered",
+				Sim: onlySim, Real: onlyReal,
+			})
+		}
+	}
 	// The simulator's network is lossless; any transport-side loss is a
 	// divergence even when the send-side counters happen to agree.
 	if realA.Dropped > 0 {
@@ -170,13 +209,13 @@ func compare(sc *Scenario, simA, realA *Accounting) *Report {
 		r.Divergences = append(r.Divergences, Divergence{Phase: "transport", Type: "codec", Kind: "messages", Sim: 0, Real: realA.BadFrames})
 	}
 	// Conservation across the cluster: at quiescence every counted send
-	// (minus queue drops) must have been received and decoded somewhere
-	// — the rx-side check that catches in-flight loss the tx-only diff
-	// cannot see.
-	if realA.TotalMsgs-realA.Dropped != realA.RxMsgs+realA.BadFrames {
+	// (minus queue drops and seeded netem drops) must have been received
+	// and decoded somewhere — the rx-side check that catches in-flight
+	// loss the tx-only diff cannot see.
+	if realA.TotalMsgs-realA.Dropped-realA.NetemDropped != realA.RxMsgs+realA.BadFrames {
 		r.Divergences = append(r.Divergences, Divergence{
 			Phase: "transport", Type: "in-flight", Kind: "messages",
-			Sim: realA.TotalMsgs - realA.Dropped, Real: realA.RxMsgs + realA.BadFrames,
+			Sim: realA.TotalMsgs - realA.Dropped - realA.NetemDropped, Real: realA.RxMsgs + realA.BadFrames,
 		})
 	}
 
@@ -189,6 +228,25 @@ func compare(sc *Scenario, simA, realA *Accounting) *Report {
 	r.FramingOK = realA.TxFrameBytes == wantFramed && handshakes >= 0
 	if !r.FramingOK {
 		r.Divergences = append(r.Divergences, Divergence{Phase: "transport", Type: "framing", Kind: "framing", Sim: wantFramed, Real: realA.TxFrameBytes})
+	}
+
+	// Delivery-time distributions: the quantity beyond exactness once a
+	// netem profile shapes both runs — checked against the declared
+	// quantile tolerance, reported either way.
+	r.DistOK = true
+	if len(simA.DeliveryTimes) > 0 && len(realA.DeliveryTimes) > 0 {
+		r.Dist = compareDist(simA.DeliveryTimes, realA.DeliveryTimes, sc.DistTolerance)
+		if sc.DistTolerance > 0 && !r.Dist.OK {
+			r.DistOK = false
+			for _, q := range r.Dist.Quantiles {
+				if !q.OK {
+					r.Divergences = append(r.Divergences, Divergence{
+						Phase: "timing", Type: fmt.Sprintf("p%02.0f", q.Q*100),
+						Kind: "distribution", Sim: int64(q.Sim), Real: int64(q.Real),
+					})
+				}
+			}
+		}
 	}
 
 	if sc.WallTolerance > 0 {
@@ -221,6 +279,12 @@ func (r *Report) Table() *metrics.Table {
 		mark(r.Sim.Delivered == r.Real.Delivered))
 	t.AddNote("sim duration %v (virtual), real %v (wall); framed stream bytes %d over %d frames",
 		r.Sim.Elapsed, r.Real.Elapsed.Round(time.Millisecond), r.Real.TxFrameBytes, r.Real.TxFrames)
+	if r.Scenario.Netem != nil {
+		t.AddNote("netem profile %q: seeded drops sim %d / real %d", r.Scenario.Netem, r.Sim.NetemDropped, r.Real.NetemDropped)
+	}
+	if r.Dist != nil {
+		t.AddNote("%s", r.Dist)
+	}
 	for _, d := range r.Divergences {
 		t.AddNote("DIVERGENCE: %s", d)
 	}

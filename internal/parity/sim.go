@@ -35,11 +35,19 @@ func (sc *Scenario) runSim() (*Accounting, error) {
 		return nil, err
 	}
 	codec := newCodec()
-	net := sim.NewNetwork(g, sim.Options{
+	opts := sim.Options{
 		Seed:    sc.Seed,
 		Latency: sim.ConstLatency(simLatency),
 		Codec:   codec,
-	})
+	}
+	if sc.Netem != nil {
+		// Shaped twin: the profile replaces the loopback placeholder
+		// latency entirely, so both runs draw delay and loss from the
+		// same hash-mode decision function.
+		opts.Latency = nil
+		opts.Netem = sc.Netem
+	}
+	net := sim.NewNetwork(g, opts)
 	hashes := core.SimHashes(sc.N)
 	net.SetHandlers(func(id proto.NodeID) proto.Handler { return sc.handler(id, hashes) })
 	net.Start()
@@ -76,6 +84,14 @@ func (sc *Scenario) runSim() (*Accounting, error) {
 	acct.TotalBytes = net.TotalBytes()
 	acct.Delivered = net.Delivered(id)
 	acct.Elapsed = lastDelivery(net, id)
+	acct.NetemDropped = net.NetemDropped()
+	acct.DeliveryTimes = make([]time.Duration, sc.N)
+	for i := range acct.DeliveryTimes {
+		acct.DeliveryTimes[i] = -1
+	}
+	for nodeID, at := range net.Deliveries(id).All() {
+		acct.DeliveryTimes[nodeID] = at
+	}
 	return acct, nil
 }
 

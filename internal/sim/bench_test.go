@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/flood"
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/topology"
 )
@@ -87,6 +88,42 @@ func BenchmarkNetworkFloodCold(b *testing.B) {
 		net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
 		net.Start()
 		if _, err := net.Originate(0, []byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+		net.Run(0)
+	}
+}
+
+// BenchmarkNetworkFloodShaped is BenchmarkNetworkFlood under a netem
+// profile with jitter and loss active — the cost of the hash-mode
+// decision path (per-link sequence lookup + three splitmix words per
+// message) on top of the plain delivery path.
+func BenchmarkNetworkFloodShaped(b *testing.B) {
+	g, err := topology.RandomRegular(1000, 8, testBenchRNG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile := netem.Profile{
+		Latency: netem.Const(20 * time.Millisecond),
+		Jitter:  netem.Uniform{Hi: 15 * time.Millisecond},
+		Loss:    0.02,
+	}
+	net := NewNetwork(g, Options{Seed: 1, Netem: &profile})
+	shared := flood.NewShared(g.N())
+	handlers := make([]proto.Handler, g.N())
+	for i := range handlers {
+		handlers[i] = flood.NewAt(shared, proto.NodeID(i))
+	}
+	payload := []byte{0, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Reset(uint64(i + 1))
+		shared.Reset()
+		net.SetHandlers(func(id proto.NodeID) proto.Handler { return handlers[id] })
+		net.Start()
+		payload[0], payload[1] = byte(i), byte(i>>8)
+		if _, err := net.Originate(0, payload); err != nil {
 			b.Fatal(err)
 		}
 		net.Run(0)

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -34,6 +35,16 @@ type Options struct {
 	// DropRate drops each message independently with this probability
 	// (failure injection; default 0).
 	DropRate float64
+	// Netem, when non-nil, routes delivery through the unified
+	// network-condition subsystem and supersedes Latency and DropRate:
+	// per-message delay (latency+jitter) and loss come from
+	// Profile.Shaper(Seed) — pure functions of (seed, from, to,
+	// per-link sequence), the same function internal/transport consults
+	// under Config.Shaper, so shaped runs agree across runtimes on
+	// exactly which messages die — and the profile's churn schedule is
+	// injected through the event loop at Start (crash/rejoin via
+	// Crash/Restore).
+	Netem *netem.Profile
 }
 
 // typeCounter is the per-MsgType accounting cell.
@@ -51,8 +62,9 @@ type counterPage [256]typeCounter
 // linkArrival tracks FIFO state for one directed link outside the
 // topology (e.g. DC-net group overlays that Send to arbitrary members).
 type linkArrival struct {
-	to proto.NodeID
-	at time.Duration
+	to  proto.NodeID
+	at  time.Duration
+	seq uint64
 }
 
 // Network hosts one Handler per topology node under the event engine.
@@ -78,6 +90,15 @@ type Network struct {
 	linkOff []int32
 	linkDst []proto.NodeID
 	linkAt  []time.Duration
+	// linkSeq counts messages per directed CSR link — the sequence
+	// numbers netem hash-mode decisions key on. Allocated only when
+	// Options.Netem is set.
+	linkSeq []uint64
+
+	// shaper holds the netem hash-mode decision function (nil without
+	// Options.Netem); netemDropped counts messages it killed.
+	shaper       *netem.Shaper
+	netemDropped int64
 
 	deliveries map[proto.MsgID]*DeliverySet
 	started    bool
@@ -117,6 +138,11 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 	for i := 0; i < topo.N(); i++ {
 		copy(n.linkDst[n.linkOff[i]:], topo.Neighbors(proto.NodeID(i)))
 	}
+	if opts.Netem != nil {
+		sh := opts.Netem.Shaper(opts.Seed)
+		n.shaper = &sh
+		n.linkSeq = make([]uint64, len(n.linkDst))
+	}
 	for i := range n.nodes {
 		node := &n.nodes[i]
 		node.net = n
@@ -148,6 +174,11 @@ func (n *Network) Reset(seed uint64) {
 	clear(n.deliveries)
 	for i := range n.linkAt {
 		n.linkAt[i] = 0
+	}
+	if n.opts.Netem != nil {
+		sh := n.opts.Netem.Shaper(seed)
+		n.shaper = &sh
+		clear(n.linkSeq)
 	}
 	for i := range n.nodes {
 		node := &n.nodes[i]
@@ -208,6 +239,19 @@ func (n *Network) Start() {
 		}
 		node.handler.Init(node)
 	}
+	// Inject the seeded churn schedule through the event loop: the
+	// schedule is a pure function of (profile, N, seed), so a reset
+	// network replays the identical crash/rejoin sequence.
+	if n.opts.Netem != nil {
+		for _, ev := range n.opts.Netem.Churn.Events(len(n.nodes), n.opts.Seed) {
+			id := ev.Node
+			if ev.Up {
+				n.engine.Schedule(ev.At-n.engine.Now(), func() { n.Restore(id) })
+			} else {
+				n.engine.Schedule(ev.At-n.engine.Now(), func() { n.Crash(id) })
+			}
+		}
+	}
 }
 
 // Run drains the event queue (maxEvents ≤ 0: unbounded) and returns the
@@ -259,6 +303,13 @@ func (n *Network) TotalMessages() int64 { return n.totalMsgs }
 // codec was configured).
 func (n *Network) TotalBytes() int64 { return n.totalByte }
 
+// NetemDropped returns how many messages the netem profile's loss model
+// killed (0 without Options.Netem). Dropped messages are still counted
+// in the per-type and total tables — a message is counted when the
+// handler hands it to the network, matching the transport's tx
+// accounting.
+func (n *Network) NetemDropped() int64 { return n.netemDropped }
+
 // counter returns the accounting cell for a type, allocating its page on
 // first use.
 func (n *Network) counter(t proto.MsgType) *typeCounter {
@@ -288,7 +339,7 @@ func (n *Network) BytesOfType(t proto.MsgType) int64 {
 
 // ResetCounters zeroes message/byte counters (e.g. after warm-up).
 func (n *Network) ResetCounters() {
-	n.totalMsgs, n.totalByte = 0, 0
+	n.totalMsgs, n.totalByte, n.netemDropped = 0, 0, 0
 	for _, page := range n.counters {
 		if page != nil {
 			*page = counterPage{}
@@ -365,22 +416,27 @@ func (n *Network) recordDelivery(at time.Duration, node proto.NodeID, id proto.M
 	}
 }
 
-// linkSlot returns the FIFO arrival cell for the directed link from→to:
-// a CSR cell for topology edges, a per-node overflow entry otherwise.
-func (n *Network) linkSlot(from *simNode, to proto.NodeID) *time.Duration {
+// linkSlot returns the FIFO arrival cell for the directed link from→to
+// — a CSR cell for topology edges, a per-node overflow entry otherwise
+// — plus the link's netem sequence counter (nil unless shaped).
+func (n *Network) linkSlot(from *simNode, to proto.NodeID) (at *time.Duration, seq *uint64) {
 	lo, hi := n.linkOff[from.id], n.linkOff[from.id+1]
 	for i, d := range n.linkDst[lo:hi] {
 		if d == to {
-			return &n.linkAt[lo+int32(i)]
+			if n.linkSeq != nil {
+				seq = &n.linkSeq[lo+int32(i)]
+			}
+			return &n.linkAt[lo+int32(i)], seq
 		}
 	}
 	for i := range from.extra {
 		if from.extra[i].to == to {
-			return &from.extra[i].at
+			return &from.extra[i].at, &from.extra[i].seq
 		}
 	}
 	from.extra = append(from.extra, linkArrival{to: to})
-	return &from.extra[len(from.extra)-1].at
+	e := &from.extra[len(from.extra)-1]
+	return &e.at, &e.seq
 }
 
 func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
@@ -400,14 +456,29 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 	for _, tap := range n.taps {
 		tap.OnSend(n.engine.Now(), from.id, to, msg)
 	}
-	if n.opts.DropRate > 0 && n.dropRNG.Float64() < n.opts.DropRate {
-		return
+	var delay time.Duration
+	slot, seqSlot := n.linkSlot(from, to)
+	if n.shaper != nil {
+		// Shaped path: loss and delay are hash decisions on the link's
+		// message sequence — the counters the transport runtime keeps
+		// too, so both runtimes kill and hold the same messages.
+		seq := *seqSlot
+		*seqSlot = seq + 1
+		var drop bool
+		delay, drop = n.shaper.Decide(from.id, to, seq)
+		if drop {
+			n.netemDropped++
+			return
+		}
+	} else {
+		if n.opts.DropRate > 0 && n.dropRNG.Float64() < n.opts.DropRate {
+			return
+		}
+		delay = n.opts.Latency.Delay(from.id, to, n.latencyRNG)
 	}
-	delay := n.opts.Latency.Delay(from.id, to, n.latencyRNG)
 	// Clamp to per-link FIFO: a later send never overtakes an earlier one
 	// on the same directed link, matching TCP stream semantics.
 	arrival := n.engine.Now() + delay
-	slot := n.linkSlot(from, to)
 	if *slot > arrival {
 		arrival = *slot
 	}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/wire"
 )
@@ -64,6 +65,15 @@ type Config struct {
 	SeedStream uint64
 	// Net is the byte-stream substrate (default: real TCP).
 	Net Substrate
+	// Shaper, when non-nil, applies netem link conditions to every
+	// outgoing message at the codec boundary: the message is counted
+	// (tx accounting mirrors the simulator), then either dropped (netem
+	// loss) or held for the profile's latency+jitter before entering
+	// the peer's write stream, per-link FIFO order preserved. Decisions
+	// are pure functions of (seed, self, to, per-link sequence) — the
+	// same function sim.Options.Netem consults — so a shaped cluster
+	// and a shaped simulator run agree on which messages die.
+	Shaper *netem.Shaper
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 	// MailboxSize bounds the event queue (default 1024). The buffer
@@ -89,6 +99,12 @@ type Node struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 	stats  wireStats
+
+	// Netem link state, touched only on the event-loop goroutine (Send
+	// runs there): per-destination message sequence numbers and the
+	// monotone release clamp that keeps shaped frames in FIFO order.
+	linkSeq     map[proto.NodeID]uint64
+	linkRelease map[proto.NodeID]time.Time
 
 	mu        sync.Mutex
 	addrBook  map[proto.NodeID]string
@@ -120,6 +136,10 @@ type WireStats struct {
 	// counted in TxMsgs: the handler handed them to the network, which is
 	// the event the simulator counts too).
 	TxDropped int64
+	// TxShaperDropped counts messages the netem shaper's loss model
+	// killed (also still counted in TxMsgs — the simulator counts its
+	// netem drops the same way).
+	TxShaperDropped int64
 	// RxBadFrames counts frames the codec rejected.
 	RxBadFrames int64
 }
@@ -178,6 +198,12 @@ func (w *wireStats) dropped() {
 	w.mu.Unlock()
 }
 
+func (w *wireStats) shaperDropped() {
+	w.mu.Lock()
+	w.s.TxShaperDropped++
+	w.mu.Unlock()
+}
+
 func (w *wireStats) bad() {
 	w.mu.Lock()
 	w.s.RxBadFrames++
@@ -207,10 +233,17 @@ func (n *Node) Stats() WireStats {
 	return out
 }
 
+// outFrame is one queued frame; release, when set, is the earliest wall
+// time the writer may put it on the stream (netem shaping).
+type outFrame struct {
+	release time.Time
+	frame   []byte
+}
+
 // peer is an outbound framed connection with a writer goroutine.
 type peer struct {
 	conn net.Conn
-	out  chan []byte
+	out  chan outFrame
 }
 
 // Listen starts the node: listener, accept loop, and event loop.
@@ -249,6 +282,10 @@ func Listen(cfg Config) (*Node, error) {
 		conns:    make(map[proto.NodeID]*peer),
 		inbound:  make(map[net.Conn]struct{}),
 		timers:   make(map[proto.TimerID]*time.Timer),
+	}
+	if cfg.Shaper != nil {
+		n.linkSeq = make(map[proto.NodeID]uint64)
+		n.linkRelease = make(map[proto.NodeID]time.Time)
 	}
 	for id, addr := range cfg.AddrBook {
 		n.addrBook[id] = addr
@@ -406,7 +443,7 @@ func (n *Node) peerFor(to proto.NodeID) (*peer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %d at %s: %w", to, addr, err)
 	}
-	p := &peer{conn: conn, out: make(chan []byte, 256)}
+	p := &peer{conn: conn, out: make(chan outFrame, 256)}
 
 	n.mu.Lock()
 	if n.closed {
@@ -440,8 +477,22 @@ func (n *Node) peerFor(to proto.NodeID) (*peer, error) {
 		// the connection close above unblocks a writer mid-frame).
 		for {
 			select {
-			case frame := <-p.out:
-				if err := wire.WriteFrame(conn, frame); err != nil {
+			case of := <-p.out:
+				// A shaped frame is held until its release time; the
+				// Send-side monotone clamp keeps releases in queue
+				// order, so this never reorders the link.
+				if !of.release.IsZero() {
+					if d := time.Until(of.release); d > 0 {
+						t := time.NewTimer(d)
+						select {
+						case <-t.C:
+						case <-n.done:
+							t.Stop()
+							return
+						}
+					}
+				}
+				if err := wire.WriteFrame(conn, of.frame); err != nil {
 					return
 				}
 			case <-n.done:
@@ -486,8 +537,28 @@ func (c *nodeCtx) Send(to proto.NodeID, msg proto.Message) {
 	// Accounting mirrors the simulator: a message is counted when the
 	// handler hands it to the network, before any transmission outcome.
 	n.stats.tx(enc.Type(), len(frame))
+	var release time.Time
+	if n.cfg.Shaper != nil {
+		// Netem decision point — the codec boundary: the per-link
+		// sequence number is consumed for every counted message (as the
+		// simulator consumes it), then the message either dies here or
+		// is stamped with its release time, clamped monotone per link
+		// so shaping never reorders a FIFO stream.
+		seq := n.linkSeq[to]
+		n.linkSeq[to] = seq + 1
+		delay, drop := n.cfg.Shaper.Decide(n.cfg.Self, to, seq)
+		if drop {
+			n.stats.shaperDropped()
+			return
+		}
+		release = time.Now().Add(delay)
+		if last := n.linkRelease[to]; release.Before(last) {
+			release = last
+		}
+		n.linkRelease[to] = release
+	}
 	select {
-	case p.out <- frame:
+	case p.out <- outFrame{release: release, frame: frame}:
 	default:
 		n.stats.dropped()
 		n.cfg.Logger.Warn("send queue full; dropping", "to", to)
