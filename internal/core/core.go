@@ -61,6 +61,34 @@ type Config struct {
 	// dcnet.Config.MaxRounds. Differential tests use it to make Phase-1
 	// cost deterministic.
 	DCMaxRounds int
+	// DCTimeout bounds a stalled Phase-1 round (dcnet.Config.Timeout):
+	// dissolve without failover, abandon-and-count with it.
+	DCTimeout time.Duration
+	// DCRetransmitTimeout enables the Phase-1 reliability layer
+	// (dcnet.Config.RetransmitTimeout): exchange messages are acked and
+	// retransmitted, so one dropped share no longer stalls the round.
+	DCRetransmitTimeout time.Duration
+	// DCRetryBudget bounds retransmissions per message (defaults to 3
+	// when the reliability layer is enabled).
+	DCRetryBudget int
+	// DCEvictAfter enables Phase-1 failover: a member completely silent
+	// for this many consecutive stalled rounds is evicted and the group
+	// re-keys around the survivors (dcnet.Config.EvictAfter).
+	DCEvictAfter int
+	// DCFloor is the failover floor (dcnet.Config.MinMembers): an
+	// eviction shrinking the group below it dissolves the group
+	// instead. Typically the anonymity parameter K; defaults to the
+	// DC-net minimum of 2.
+	DCFloor int
+	// FailSafe, when positive, enables the coverage-first recovery
+	// behaviors on degraded networks (the Dandelion++-style fail-safe):
+	// every group member that recovered a payload starts a plain flood
+	// for it if Phase 2/3 have not reached it within this long, and a
+	// group dissolving with queued payloads injects them directly into
+	// Phase 2 instead of burning them. Both trade origin privacy for
+	// delivery only after the private path demonstrably failed; zero
+	// (the default) keeps the strict three-phase protocol.
+	FailSafe time.Duration
 	// Channels optionally supplies pairwise AEAD channels for Phase 1.
 	Channels map[proto.NodeID]*crypto.SecureChannel
 
@@ -71,8 +99,11 @@ type Config struct {
 	// virtual source's degree).
 	TreeDegree int
 
-	// OnBlame and OnDissolve surface Phase-1 policy events.
+	// OnBlame and OnDissolve surface Phase-1 policy events; OnEvict
+	// surfaces failover evictions (wire it to the membership layer,
+	// e.g. group.Client.ReportEvict).
 	OnBlame    func(ctx proto.Context, culprit proto.NodeID)
+	OnEvict    func(ctx proto.Context, evicted proto.NodeID, remaining []proto.NodeID)
 	OnDissolve func(ctx proto.Context, reason string)
 }
 
@@ -98,6 +129,9 @@ func (c *Config) applyDefaults() {
 	if c.DCSlotSize == 0 {
 		c.DCSlotSize = 256
 	}
+	if c.DCRetransmitTimeout > 0 && c.DCRetryBudget == 0 {
+		c.DCRetryBudget = 3
+	}
 }
 
 // Configuration errors.
@@ -114,7 +148,13 @@ type Protocol struct {
 	member *dcnet.Member // nil when not in any group
 	ad     *adaptive.Engine
 	fl     *flood.Engine
+	// failsafe holds payloads this group member recovered in Phase 1
+	// until their fail-safe deadline passes (only under Config.FailSafe).
+	failsafe map[proto.MsgID][]byte
 }
+
+// failsafeTimer drives one payload's fail-safe deadline.
+type failsafeTimer struct{ id proto.MsgID }
 
 var _ proto.Broadcaster = (*Protocol)(nil)
 
@@ -144,14 +184,19 @@ func (p *Protocol) Init(ctx proto.Context) {
 		return
 	}
 	member, err := dcnet.NewMember(dcnet.Config{
-		Self:      ctx.Self(),
-		Members:   p.cfg.Group,
-		Mode:      p.cfg.DCMode,
-		SlotSize:  p.cfg.DCSlotSize,
-		Interval:  p.cfg.DCInterval,
-		Policy:    p.cfg.DCPolicy,
-		MaxRounds: p.cfg.DCMaxRounds,
-		Channels:  p.cfg.Channels,
+		Self:              ctx.Self(),
+		Members:           p.cfg.Group,
+		Mode:              p.cfg.DCMode,
+		SlotSize:          p.cfg.DCSlotSize,
+		Interval:          p.cfg.DCInterval,
+		Policy:            p.cfg.DCPolicy,
+		MaxRounds:         p.cfg.DCMaxRounds,
+		Timeout:           p.cfg.DCTimeout,
+		RetransmitTimeout: p.cfg.DCRetransmitTimeout,
+		RetryBudget:       p.cfg.DCRetryBudget,
+		EvictAfter:        p.cfg.DCEvictAfter,
+		MinMembers:        p.cfg.DCFloor,
+		Channels:          p.cfg.Channels,
 		OnDeliver: func(ctx proto.Context, _ uint32, payload []byte) {
 			p.onGroupMessage(ctx, payload)
 		},
@@ -162,8 +207,11 @@ func (p *Protocol) Init(ctx proto.Context) {
 				p.onGroupMessage(ctx, payload)
 			}
 		},
-		OnBlame:    p.cfg.OnBlame,
-		OnDissolve: p.cfg.OnDissolve,
+		OnBlame: p.cfg.OnBlame,
+		OnEvict: p.cfg.OnEvict,
+		OnDissolve: func(ctx proto.Context, reason string) {
+			p.onDissolve(ctx, reason)
+		},
 	})
 	if err != nil {
 		// Configuration was validated in New for everything except
@@ -183,8 +231,14 @@ func (p *Protocol) Diffusion() *adaptive.Engine { return p.ad }
 // Flood exposes the Phase-3 engine (tests, experiments).
 func (p *Protocol) Flood() *flood.Engine { return p.fl }
 
+// recovery reports whether the coverage-first degraded-network
+// behaviors (fail-safe flood, direct injection on dissolve) are on.
+func (p *Protocol) recovery() bool { return p.cfg.FailSafe > 0 }
+
 // Broadcast implements proto.Broadcaster: the payload enters the node's
-// DC-net group anonymously (Phase 1).
+// DC-net group anonymously (Phase 1). Under recovery mode a broadcast
+// on a dissolved group degrades to direct Phase-2 injection instead of
+// failing — reduced origin privacy, preserved delivery.
 func (p *Protocol) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, error) {
 	if p.member == nil {
 		return proto.MsgID{}, ErrNoGroup
@@ -193,10 +247,42 @@ func (p *Protocol) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, er
 	if p.fl.Seen(id) || p.ad.State(id) != nil {
 		return id, nil
 	}
+	if p.member.Stopped() && p.recovery() {
+		p.injectDirect(ctx, payload)
+		return id, nil
+	}
 	if err := p.member.Queue(payload); err != nil {
 		return proto.MsgID{}, fmt.Errorf("core: queueing broadcast: %w", err)
 	}
 	return id, nil
+}
+
+// onDissolve handles a burned group: surface the event, and under
+// recovery mode re-route the queued payloads straight into Phase 2 —
+// the "group dissolved below the floor" fallback that degrades coverage
+// gracefully instead of to zero.
+func (p *Protocol) onDissolve(ctx proto.Context, reason string) {
+	if p.cfg.OnDissolve != nil {
+		p.cfg.OnDissolve(ctx, reason)
+	}
+	if !p.recovery() {
+		return
+	}
+	for _, payload := range p.member.DrainQueue() {
+		p.injectDirect(ctx, payload)
+	}
+}
+
+// injectDirect starts Phase 2 at this node for a payload that could not
+// take the DC-net path — the sender becomes the initial virtual source,
+// so it keeps the diffusion ball's statistical cover but loses the
+// group's cryptographic ℓ-anonymity.
+func (p *Protocol) injectDirect(ctx proto.Context, payload []byte) {
+	id := proto.NewMsgID(payload)
+	if p.ad.State(id) != nil || p.fl.Seen(id) {
+		return
+	}
+	p.ad.StartCenter(ctx, id, payload)
 }
 
 // onGroupMessage handles the Phase 1 → 2 transition at every group
@@ -205,6 +291,19 @@ func (p *Protocol) onGroupMessage(ctx proto.Context, payload []byte) {
 	id := proto.NewMsgID(payload)
 	if p.ad.State(id) != nil || p.fl.Seen(id) {
 		return // duplicate recovery (e.g. retransmission after collision)
+	}
+	if p.recovery() {
+		// Fail-safe (after Dandelion++'s fail-safe mechanism): every
+		// group member holds the payload, so each arms a deadline; a
+		// member the Phase-3 flood has not reached by then assumes the
+		// private path died — a lost virtual-source token, a dropped
+		// final-spread — and floods the payload itself. On a healthy
+		// run the deadline passes after the flood and sends nothing.
+		if p.failsafe == nil {
+			p.failsafe = make(map[proto.MsgID][]byte)
+		}
+		p.failsafe[id] = payload
+		ctx.SetTimer(p.cfg.FailSafe, failsafeTimer{id: id})
 	}
 	vs0 := p.virtualSource(payload)
 	if vs0 == ctx.Self() {
@@ -224,12 +323,18 @@ func (p *Protocol) onGroupMessage(ctx proto.Context, payload []byte) {
 
 // virtualSource returns the group member whose hashed identity is closest
 // to the message hash (§IV-B) — deterministic, verifiable by all members,
-// independent of the originator.
+// independent of the originator. The election runs over the *live*
+// membership: after a failover eviction every survivor selects among the
+// survivors, so a crashed member can never be elected into a black hole.
 func (p *Protocol) virtualSource(payload []byte) proto.NodeID {
+	members := p.cfg.Group
+	if p.member != nil {
+		members = p.member.Members()
+	}
 	target := crypto.HashPayload(payload)
 	best := proto.NoNode
 	var bestDist [32]byte
-	for _, m := range p.cfg.Group {
+	for _, m := range members {
 		d := crypto.DistanceTo(p.cfg.Hashes[m], target)
 		if best == proto.NoNode || crypto.XORDistance(d, bestDist) < 0 {
 			best, bestDist = m, d
@@ -269,10 +374,28 @@ func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto
 
 // HandleTimer implements proto.Handler.
 func (p *Protocol) HandleTimer(ctx proto.Context, payload any) {
+	if t, ok := payload.(failsafeTimer); ok {
+		p.onFailSafe(ctx, t.id)
+		return
+	}
 	if p.member != nil && p.member.HandleTimer(ctx, payload) {
 		return
 	}
 	p.ad.HandleTimer(ctx, payload)
+}
+
+// onFailSafe fires one payload's fail-safe deadline: if the flood has
+// not passed through this node yet, start it here.
+func (p *Protocol) onFailSafe(ctx proto.Context, id proto.MsgID) {
+	payload, ok := p.failsafe[id]
+	if !ok {
+		return
+	}
+	delete(p.failsafe, id)
+	if !p.fl.MarkSeen(id) {
+		return // Phase 3 already came through; nothing to recover
+	}
+	p.fl.Spread(ctx, id, payload, 0)
 }
 
 // finisher adapts the Phase 2 → 3 transition: when the final-spread

@@ -32,7 +32,7 @@ func benchGroup(b *testing.B, g, rounds int, mode Mode, policy Policy) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			return &memberHandler{m}
+			return &memberHandler{m: m}
 		})
 		net.Start()
 		net.RunUntil(time.Duration(rounds) * 10 * time.Millisecond)

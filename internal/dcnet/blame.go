@@ -37,15 +37,16 @@ func (m *Member) startBlame(ctx proto.Context, round uint32) {
 	m.BlamePhases++
 	reveal := &RevealMsg{Round: round, Shares: rs.myShares, Salts: rs.mySalts}
 	for _, p := range m.peers {
-		ctx.Send(p, reveal)
+		m.sendReliable(ctx, p, reveal, round, KindReveal)
 	}
 	m.tryFinishBlame(ctx)
 }
 
-func (m *Member) onCommit(_ proto.Context, from proto.NodeID, msg *CommitMsg) {
+func (m *Member) onCommit(ctx proto.Context, from proto.NodeID, msg *CommitMsg) {
 	if m.stopped || !m.isPeer(from) {
 		return
 	}
+	m.ackIncoming(ctx, from, msg.Round, KindCommit)
 	if len(msg.Digests) != len(m.peers) {
 		return
 	}
@@ -60,6 +61,7 @@ func (m *Member) onReveal(ctx proto.Context, from proto.NodeID, msg *RevealMsg) 
 	if m.stopped || !m.isPeer(from) {
 		return
 	}
+	m.ackIncoming(ctx, from, msg.Round, KindReveal)
 	rs := m.round(msg.Round)
 	if _, dup := rs.gotReveals[from]; dup {
 		return

@@ -84,9 +84,32 @@ type Config struct {
 	// simulation without "however many idle rounds happened to fit"
 	// noise. Zero (the default) keeps rounds unbounded.
 	MaxRounds int
-	// Timeout aborts the group if a round stalls longer than this
-	// (crashed member). Zero disables.
+	// Timeout bounds a stalled round. Without failover (EvictAfter = 0)
+	// it aborts the group (crashed member); with failover it abandons
+	// the round and charges silent peers a miss. Zero disables — except
+	// under failover, where it defaults to 1.5× Interval (off the round
+	// grid, so abandon and round-start events never tie).
 	Timeout time.Duration
+	// RetransmitTimeout enables the reliability layer: every exchange
+	// message is tracked until acked and retransmitted after this long,
+	// up to RetryBudget times. It must exceed the worst-case network
+	// round trip (data + ack), or in-flight messages trigger spurious
+	// retransmissions. Zero disables (the pre-reliability protocol,
+	// byte-for-byte).
+	RetransmitTimeout time.Duration
+	// RetryBudget bounds retransmissions per message (0: track acks but
+	// never retransmit — the round then fails deterministically on any
+	// loss, which the policy machinery handles).
+	RetryBudget int
+	// EvictAfter enables failover: a peer completely silent for this
+	// many consecutive abandoned rounds is evicted and the group
+	// re-keys around the survivors. Zero disables (a stalled round
+	// dissolves the group via Timeout, as before).
+	EvictAfter int
+	// MinMembers is the failover floor (default 2): an eviction that
+	// would shrink the group below it dissolves the group instead —
+	// the caller's anonymity budget, typically the paper's k.
+	MinMembers int
 	// Policy is the failure reaction (default PolicyDissolve).
 	Policy Policy
 	// FailureThreshold is the number of consecutive failed rounds that
@@ -110,6 +133,9 @@ type Config struct {
 	OnSendResult func(ctx proto.Context, payload []byte, ok bool)
 	// OnBlame reports an identified disruptor (PolicyBlame).
 	OnBlame func(ctx proto.Context, culprit proto.NodeID)
+	// OnEvict reports a failover eviction with the surviving
+	// membership — the hook that notifies the directory/manager layer.
+	OnEvict func(ctx proto.Context, evicted proto.NodeID, remaining []proto.NodeID)
 	// OnDissolve reports that the group burned (policy or timeout).
 	OnDissolve func(ctx proto.Context, reason string)
 }
@@ -142,6 +168,15 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.MaxBackoffExp <= 0 {
 		c.MaxBackoffExp = 6
+	}
+	if c.RetransmitTimeout < 0 || c.RetryBudget < 0 || c.EvictAfter < 0 {
+		return fmt.Errorf("dcnet: negative reliability parameter")
+	}
+	if c.EvictAfter > 0 && c.Timeout <= 0 {
+		c.Timeout = c.Interval + c.Interval/2
+	}
+	if c.MinMembers < 2 {
+		c.MinMembers = 2
 	}
 	return nil
 }
@@ -178,6 +213,9 @@ type roundState struct {
 	gotTPart   map[proto.NodeID][]byte
 	gotCommits map[proto.NodeID][][32]byte
 	gotReveals map[proto.NodeID]*RevealMsg
+	// heard marks any per-round activity (data or ack) per peer — the
+	// failover layer's liveness signal (lazily allocated).
+	heard map[proto.NodeID]bool
 
 	s, t       []byte
 	sSent      bool
@@ -217,6 +255,13 @@ type Member struct {
 	blameRound     uint32 // nonzero while a blame phase is active
 	blamed         map[proto.NodeID]bool
 
+	// Reliability layer: unacked messages awaiting retransmission.
+	pending map[relKey]*relPending
+	// Failover layer: consecutive totally-silent abandoned rounds per
+	// peer, and the membership epoch (bumped on every eviction).
+	missed map[proto.NodeID]int
+	epoch  int
+
 	// scratch recycles slot-sized buffers (accumulators, recovered
 	// values) across rounds. Buffers that travel inside messages —
 	// shares and partials — are never pooled: in simulation the receiver
@@ -228,6 +273,10 @@ type Member struct {
 	Collisions      int
 	Delivered       int
 	BlamePhases     int
+	Retransmits     int
+	Nacks           int
+	RoundsAbandoned int
+	Evictions       int
 }
 
 // bufPool is a small free list of byte buffers keyed by capacity.
@@ -286,6 +335,7 @@ func NewMember(cfg Config) (*Member, error) {
 		rounds:   make(map[uint32]*roundState),
 		nextKind: initialKind(cfg.Mode),
 		blamed:   make(map[proto.NodeID]bool),
+		missed:   make(map[proto.NodeID]int),
 	}
 	return m, nil
 }
@@ -305,6 +355,19 @@ func (m *Member) Members() []proto.NodeID { return slices.Clone(m.members) }
 
 // Pending returns the number of queued outbound payloads.
 func (m *Member) Pending() int { return len(m.queue) }
+
+// Epoch returns the membership epoch: 0 at formation, incremented by
+// every failover eviction (the "re-key" counter).
+func (m *Member) Epoch() int { return m.epoch }
+
+// DrainQueue removes and returns the queued outbound payloads — the
+// hook a dissolving group's owner uses to re-route undelivered traffic
+// (e.g. the composed protocol's direct Phase-2 injection fallback).
+func (m *Member) DrainQueue() [][]byte {
+	q := m.queue
+	m.queue = nil
+	return q
+}
 
 // Stopped reports whether the member has dissolved or been stopped.
 func (m *Member) Stopped() bool { return m.stopped }
@@ -358,8 +421,12 @@ func (m *Member) HandleTimer(ctx proto.Context, payload any) bool {
 		if t.round > 1 {
 			if prev := m.rounds[t.round-1]; prev != nil && !prev.complete {
 				// Previous round still in flight: start as soon as it
-				// finishes to preserve announce/data alternation.
+				// finishes to preserve announce/data alternation — and
+				// nack the peers it is still waiting on, so a dropped
+				// message is re-pulled without waiting out the sender's
+				// retransmit timeout.
 				m.deferred = t.round
+				m.nackMissing(ctx, prev)
 				return true
 			}
 		}
@@ -371,8 +438,15 @@ func (m *Member) HandleTimer(ctx proto.Context, payload any) bool {
 		}
 		rs := m.rounds[t.round]
 		if rs != nil && !rs.complete {
-			m.dissolve(ctx, fmt.Sprintf("round %d timed out", t.round))
+			if m.failover() {
+				m.abandonRound(ctx, rs)
+			} else {
+				m.dissolve(ctx, fmt.Sprintf("round %d timed out", t.round))
+			}
 		}
+		return true
+	case relTimer:
+		m.onRelTimer(ctx, t)
 		return true
 	default:
 		return false
@@ -393,6 +467,10 @@ func (m *Member) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.M
 		m.onCommit(ctx, from, mm)
 	case *RevealMsg:
 		m.onReveal(ctx, from, mm)
+	case *AckMsg:
+		m.onAck(ctx, from, mm)
+	case *NackMsg:
+		m.onNack(ctx, from, mm)
 	default:
 		return false
 	}
@@ -510,7 +588,7 @@ func (m *Member) startRound(ctx proto.Context, n uint32) {
 		}
 		commit := &CommitMsg{Round: n, Digests: digests}
 		for _, p := range m.peers {
-			ctx.Send(p, commit)
+			m.sendReliable(ctx, p, commit, n, KindCommit)
 		}
 	}
 
@@ -525,7 +603,7 @@ func (m *Member) startRound(ctx proto.Context, n uint32) {
 			}
 			data = sealed
 		}
-		ctx.Send(p, &ShareMsg{Round: n, Data: data})
+		m.sendReliable(ctx, p, &ShareMsg{Round: n, Data: data}, n, KindShare)
 	}
 
 	if m.cfg.Timeout > 0 {
@@ -565,6 +643,7 @@ func (m *Member) onShare(ctx proto.Context, from proto.NodeID, msg *ShareMsg) {
 	if m.stopped || !m.isPeer(from) {
 		return
 	}
+	m.ackIncoming(ctx, from, msg.Round, KindShare)
 	rs := m.round(msg.Round)
 	if _, dup := rs.gotShares[from]; dup {
 		return
@@ -586,6 +665,7 @@ func (m *Member) onSPartial(ctx proto.Context, from proto.NodeID, msg *SPartialM
 	if m.stopped || !m.isPeer(from) {
 		return
 	}
+	m.ackIncoming(ctx, from, msg.Round, KindSPartial)
 	rs := m.round(msg.Round)
 	if _, dup := rs.gotSPart[from]; dup {
 		return
@@ -598,6 +678,7 @@ func (m *Member) onTPartial(ctx proto.Context, from proto.NodeID, msg *TPartialM
 	if m.stopped || !m.isPeer(from) {
 		return
 	}
+	m.ackIncoming(ctx, from, msg.Round, KindTPartial)
 	rs := m.round(msg.Round)
 	if _, dup := rs.gotTPart[from]; dup {
 		return
@@ -626,7 +707,7 @@ func (m *Member) tryAdvance(ctx proto.Context, rs *roundState) {
 			out := outs[i*rs.slot : (i+1)*rs.slot]
 			copy(out, rs.s)
 			crypto.XORBytes(out, rs.gotShares[p])
-			ctx.Send(p, &SPartialMsg{Round: rs.number, Data: out})
+			m.sendReliable(ctx, p, &SPartialMsg{Round: rs.number, Data: out}, rs.number, KindSPartial)
 		}
 		rs.sSent = true
 	}
@@ -641,7 +722,7 @@ func (m *Member) tryAdvance(ctx proto.Context, rs *roundState) {
 			out := outs[i*rs.slot : (i+1)*rs.slot]
 			copy(out, rs.t)
 			crypto.XORBytes(out, rs.gotSPart[p])
-			ctx.Send(p, &TPartialMsg{Round: rs.number, Data: out})
+			m.sendReliable(ctx, p, &TPartialMsg{Round: rs.number, Data: out}, rs.number, KindTPartial)
 		}
 		rs.tSent = true
 	}
@@ -673,6 +754,11 @@ func (m *Member) sizesOK(rs *roundState, got map[proto.NodeID][]byte) bool {
 // policy state, and rolls the round sequence forward.
 func (m *Member) finishRound(ctx proto.Context, rs *roundState, recovered []byte) {
 	m.RoundsCompleted++
+	if m.failover() {
+		// A round only completes when every peer's inputs arrived:
+		// everyone is demonstrably alive, so silence streaks reset.
+		clear(m.missed)
+	}
 
 	failed := false
 	nextKind := initialKind(m.cfg.Mode)
@@ -831,10 +917,19 @@ func (m *Member) gc(completed uint32) {
 	}
 	cutoff := completed - horizon
 	for n, rs := range m.rounds {
-		if n < cutoff && rs.complete && (m.blameRound == 0 || n != m.blameRound) {
+		if n >= cutoff || (m.blameRound != 0 && n == m.blameRound) {
+			continue
+		}
+		if rs.complete {
 			// Recycle the buffers only this member ever referenced; the
 			// shares/partials it sent live on in peers' round state.
 			m.scratch.put(rs.s, rs.t, rs.myContrib)
+			delete(m.rounds, n)
+		} else if !rs.started {
+			// Input-only state for a round this member never ran — a
+			// late retransmission recreated it after an earlier gc, or
+			// the round number was skipped across an eviction epoch.
+			// Nothing to recycle; just drop it.
 			delete(m.rounds, n)
 		}
 	}

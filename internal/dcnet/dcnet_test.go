@@ -14,11 +14,19 @@ import (
 	"repro/internal/topology"
 )
 
-// memberHandler adapts a Member to proto.Handler.
-type memberHandler struct{ m *Member }
+// memberHandler adapts a Member to proto.Handler; drop, when set,
+// discards matching incoming messages before the member sees them (the
+// deterministic seeded-drop hook of the reliability tests).
+type memberHandler struct {
+	m    *Member
+	drop func(from proto.NodeID, msg proto.Message) bool
+}
 
 func (h *memberHandler) Init(ctx proto.Context) { h.m.Start(ctx) }
 func (h *memberHandler) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	if h.drop != nil && h.drop(from, msg) {
+		return
+	}
 	h.m.HandleMessage(ctx, from, msg)
 }
 func (h *memberHandler) HandleTimer(ctx proto.Context, payload any) {
@@ -28,11 +36,13 @@ func (h *memberHandler) HandleTimer(ctx proto.Context, payload any) {
 // groupHarness wires n members over a clique and records outcomes.
 type groupHarness struct {
 	net       *sim.Network
+	handlers  []*memberHandler
 	members   []*Member
 	received  []map[string]int // per member: payload -> delivery count
 	sendOK    []int
 	sendFail  []int
 	blames    []map[proto.NodeID]int
+	evicted   []map[proto.NodeID]int
 	dissolved []string
 }
 
@@ -44,11 +54,13 @@ func newGroup(t *testing.T, n int, mutate func(i int, cfg *Config)) *groupHarnes
 	}
 	h := &groupHarness{
 		net:       sim.NewNetwork(g, sim.Options{Seed: 77, Latency: sim.ConstLatency(5 * time.Millisecond)}),
+		handlers:  make([]*memberHandler, n),
 		members:   make([]*Member, n),
 		received:  make([]map[string]int, n),
 		sendOK:    make([]int, n),
 		sendFail:  make([]int, n),
 		blames:    make([]map[proto.NodeID]int, n),
+		evicted:   make([]map[proto.NodeID]int, n),
 		dissolved: make([]string, n),
 	}
 	all := make([]proto.NodeID, n)
@@ -59,6 +71,7 @@ func newGroup(t *testing.T, n int, mutate func(i int, cfg *Config)) *groupHarnes
 		i := int(id)
 		h.received[i] = make(map[string]int)
 		h.blames[i] = make(map[proto.NodeID]int)
+		h.evicted[i] = make(map[proto.NodeID]int)
 		cfg := Config{
 			Self:     id,
 			Members:  all,
@@ -79,6 +92,9 @@ func newGroup(t *testing.T, n int, mutate func(i int, cfg *Config)) *groupHarnes
 			OnBlame: func(_ proto.Context, culprit proto.NodeID) {
 				h.blames[i][culprit]++
 			},
+			OnEvict: func(_ proto.Context, evictee proto.NodeID, _ []proto.NodeID) {
+				h.evicted[i][evictee]++
+			},
 			OnDissolve: func(_ proto.Context, reason string) {
 				h.dissolved[i] = reason
 			},
@@ -91,7 +107,8 @@ func newGroup(t *testing.T, n int, mutate func(i int, cfg *Config)) *groupHarnes
 			t.Fatalf("NewMember(%d): %v", i, err)
 		}
 		h.members[i] = m
-		return &memberHandler{m: m}
+		h.handlers[i] = &memberHandler{m: m}
+		return h.handlers[i]
 	})
 	h.net.Start()
 	return h
@@ -456,5 +473,288 @@ func TestAnnouncePacking(t *testing.T) {
 	}
 	if _, ok := unpackAnnounce([]byte{1, 2, 3}); ok {
 		t.Error("short announce accepted")
+	}
+}
+
+// dropFirst builds a drop filter discarding the first `count` incoming
+// messages from `from` whose kind matches.
+func dropFirst(from proto.NodeID, kind uint8, count int) func(proto.NodeID, proto.Message) bool {
+	return func(src proto.NodeID, msg proto.Message) bool {
+		if src != from || count <= 0 {
+			return false
+		}
+		var k uint8
+		switch msg.(type) {
+		case *ShareMsg:
+			k = KindShare
+		case *SPartialMsg:
+			k = KindSPartial
+		case *TPartialMsg:
+			k = KindTPartial
+		default:
+			return false
+		}
+		if k != kind {
+			return false
+		}
+		count--
+		return true
+	}
+}
+
+// TestRetransmitTimeoutStateMachine is the reliability-layer table: for
+// every share position (sender a → receiver b in a group of 4) and every
+// exchange kind, a seeded drop of the first copy must either be repaired
+// by retransmission (budget ≥ 1: the round completes and delivers
+// exactly once everywhere) or fail deterministically (budget 0: the
+// round stalls and the dissolve policy fires at every member).
+func TestRetransmitTimeoutStateMachine(t *testing.T) {
+	const g = 4
+	kinds := []struct {
+		name string
+		kind uint8
+	}{{"share", KindShare}, {"s-partial", KindSPartial}, {"t-partial", KindTPartial}}
+	for _, budget := range []int{0, 1, 3} {
+		for _, kd := range kinds {
+			for a := 0; a < g; a++ {
+				for b := 0; b < g; b++ {
+					if a == b {
+						continue
+					}
+					budget, kd, a, b := budget, kd, a, b
+					t.Run(fmt.Sprintf("budget=%d/%s/%d to %d", budget, kd.name, a, b), func(t *testing.T) {
+						h := newGroup(t, g, func(i int, cfg *Config) {
+							cfg.RetransmitTimeout = 30 * time.Millisecond
+							cfg.RetryBudget = budget
+							cfg.Timeout = 320 * time.Millisecond
+							cfg.Policy = PolicyDissolve
+						})
+						h.handlers[b].drop = dropFirst(proto.NodeID(a), kd.kind, 1)
+						payload := []byte("loss-tolerant-tx")
+						if err := h.members[0].Queue(payload); err != nil {
+							t.Fatal(err)
+						}
+						h.runRounds(6)
+
+						if budget == 0 {
+							// No repair allowed: the stalled round times out
+							// and the policy fires at every member, rather
+							// than some members hanging forever.
+							for i := 0; i < g; i++ {
+								if h.dissolved[i] == "" {
+									t.Errorf("member %d did not dissolve with retry budget 0", i)
+								}
+							}
+							return
+						}
+						for i := 1; i < g; i++ {
+							if got := h.received[i][string(payload)]; got != 1 {
+								t.Errorf("member %d delivered %d copies, want 1", i, got)
+							}
+						}
+						if h.sendOK[0] != 1 {
+							t.Errorf("sender success = %d, want 1", h.sendOK[0])
+						}
+						if h.members[a].Retransmits == 0 {
+							t.Errorf("dropped %s from %d was never retransmitted", kd.name, a)
+						}
+						for i := 0; i < g; i++ {
+							if h.dissolved[i] != "" {
+								t.Errorf("member %d dissolved (%q) despite successful repair", i, h.dissolved[i])
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestNackPullsRetransmission pins the fast path: with a retransmit
+// timeout far beyond the round interval, recovery must come from the
+// receiver's deferral nack, not the sender's timer.
+func TestNackPullsRetransmission(t *testing.T) {
+	h := newGroup(t, 4, func(i int, cfg *Config) {
+		cfg.RetransmitTimeout = 5 * time.Second // never fires inside the test
+		cfg.RetryBudget = 2
+	})
+	h.handlers[2].drop = dropFirst(1, KindShare, 1)
+	payload := []byte("nack-recovered")
+	if err := h.members[0].Queue(payload); err != nil {
+		t.Fatal(err)
+	}
+	h.runRounds(6)
+	for i := 1; i < 4; i++ {
+		if got := h.received[i][string(payload)]; got != 1 {
+			t.Errorf("member %d delivered %d copies, want 1", i, got)
+		}
+	}
+	if h.members[2].Nacks == 0 {
+		t.Error("stalled member sent no nacks")
+	}
+	if h.members[1].Retransmits != 1 {
+		t.Errorf("sender retransmits = %d, want exactly 1 (nack-pulled)", h.members[1].Retransmits)
+	}
+}
+
+// TestReliabilityPreservesBlame ensures the ack/retransmit layer does
+// not break the §V-C machinery: a disruptor is still identified under
+// PolicyBlame with reliability on.
+func TestReliabilityPreservesBlame(t *testing.T) {
+	const disruptor = 2
+	h := newGroup(t, 5, func(i int, cfg *Config) {
+		cfg.Policy = PolicyBlame
+		cfg.FailureThreshold = 3
+		cfg.RetransmitTimeout = 30 * time.Millisecond
+		cfg.RetryBudget = 2
+		if i == disruptor {
+			cfg.Disrupt = true
+		}
+	})
+	h.runRounds(12)
+	for i := 0; i < 5; i++ {
+		if i == disruptor {
+			continue
+		}
+		if h.blames[i][proto.NodeID(disruptor)] == 0 {
+			t.Errorf("member %d did not blame the disruptor", i)
+		}
+		for culprit := range h.blames[i] {
+			if culprit != proto.NodeID(disruptor) {
+				t.Errorf("member %d wrongly blamed honest member %d", i, culprit)
+			}
+		}
+	}
+}
+
+// TestFailoverEvictsCrashedMember is the failover happy path: a member
+// that crashes goes silent, accumulates EvictAfter misses, and is
+// evicted by every survivor — which then re-key (epoch bump, shrunk
+// membership) and deliver traffic again.
+func TestFailoverEvictsCrashedMember(t *testing.T) {
+	const g, victim = 5, 3
+	for _, crashAt := range []time.Duration{
+		10 * time.Millisecond,  // before the first round
+		105 * time.Millisecond, // mid-exchange of round 1
+		250 * time.Millisecond, // between later rounds
+	} {
+		crashAt := crashAt
+		t.Run(crashAt.String(), func(t *testing.T) {
+			h := newGroup(t, g, func(i int, cfg *Config) {
+				cfg.RetransmitTimeout = 30 * time.Millisecond
+				cfg.RetryBudget = 2
+				cfg.EvictAfter = 2
+				cfg.Timeout = 150 * time.Millisecond
+				cfg.MinMembers = 3
+				cfg.Policy = PolicyNone
+			})
+			h.net.Engine().Schedule(crashAt, func() { h.net.Crash(victim) })
+			h.runRounds(12)
+
+			for i := 0; i < g; i++ {
+				if i == victim {
+					continue
+				}
+				m := h.members[i]
+				if h.evicted[i][victim] != 1 {
+					t.Errorf("member %d evicted victim %d times, want 1", i, h.evicted[i][victim])
+				}
+				if m.GroupSize() != g-1 {
+					t.Errorf("member %d group size %d after eviction, want %d", i, m.GroupSize(), g-1)
+				}
+				if m.Epoch() != 1 {
+					t.Errorf("member %d epoch %d, want 1 (re-key)", i, m.Epoch())
+				}
+				if m.Stopped() {
+					t.Errorf("member %d stopped; failover should keep the group alive", i)
+				}
+				for _, id := range m.Members() {
+					if id == victim {
+						t.Errorf("member %d still lists the victim", i)
+					}
+				}
+			}
+
+			// The shrunk group still carries traffic.
+			payload := []byte{byte(crashAt / time.Millisecond), 0x5e}
+			if err := h.members[0].Queue(payload); err != nil {
+				t.Fatal(err)
+			}
+			h.runRounds(8)
+			for i := 1; i < g; i++ {
+				if i == victim {
+					continue
+				}
+				if got := h.received[i][string(payload)]; got != 1 {
+					t.Errorf("member %d delivered %d copies post-eviction, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFailoverFloorDissolves pins the floor: when eviction would shrink
+// the group below MinMembers, it dissolves instead of running under the
+// configured anonymity floor.
+func TestFailoverFloorDissolves(t *testing.T) {
+	const g, victim = 4, 1
+	h := newGroup(t, g, func(i int, cfg *Config) {
+		cfg.RetransmitTimeout = 30 * time.Millisecond
+		cfg.RetryBudget = 2
+		cfg.EvictAfter = 2
+		cfg.Timeout = 150 * time.Millisecond
+		cfg.MinMembers = g // any eviction goes below the floor
+		cfg.Policy = PolicyNone
+	})
+	h.net.Crash(victim)
+	h.runRounds(12)
+	for i := 0; i < g; i++ {
+		if i == victim {
+			continue
+		}
+		if h.evicted[i][victim] != 1 {
+			t.Errorf("member %d did not evict the crashed member", i)
+		}
+		if h.dissolved[i] == "" {
+			t.Errorf("member %d did not dissolve below the floor", i)
+		}
+		if !h.members[i].Stopped() {
+			t.Errorf("member %d still running below the floor", i)
+		}
+	}
+}
+
+// TestFailoverSparesLossyPeer ensures eviction needs total silence, not
+// bad luck: a peer whose messages are dropped but repaired (alive and
+// acking) must never be evicted even while rounds are slow.
+func TestFailoverSparesLossyPeer(t *testing.T) {
+	const g, lossyPeer = 4, 2
+	h := newGroup(t, g, func(i int, cfg *Config) {
+		cfg.RetransmitTimeout = 30 * time.Millisecond
+		cfg.RetryBudget = 3
+		cfg.EvictAfter = 2
+		cfg.Timeout = 150 * time.Millisecond
+		cfg.MinMembers = 3
+		cfg.Policy = PolicyNone
+	})
+	// Drop the lossy peer's first share toward everyone, every round for
+	// a while: rounds limp but the peer is audibly alive (acks, nacked
+	// retransmissions), so no one may charge it a miss.
+	for i := 0; i < g; i++ {
+		if i != lossyPeer {
+			h.handlers[i].drop = dropFirst(lossyPeer, KindShare, 4)
+		}
+	}
+	h.runRounds(20)
+	for i := 0; i < g; i++ {
+		if len(h.evicted[i]) != 0 {
+			t.Errorf("member %d evicted %v; lossy-but-alive peers must be spared", i, h.evicted[i])
+		}
+		if h.dissolved[i] != "" {
+			t.Errorf("member %d dissolved: %q", i, h.dissolved[i])
+		}
+	}
+	if h.members[0].RoundsCompleted == 0 {
+		t.Error("no rounds completed under repairable loss")
 	}
 }

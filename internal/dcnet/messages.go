@@ -19,7 +19,80 @@ const (
 	TypeCommit = proto.RangeDCNet + 4
 	// TypeReveal opens a round's shares during a blame phase.
 	TypeReveal = proto.RangeDCNet + 5
+	// TypeAck confirms receipt of one reliable exchange message
+	// (reliability layer; see Config.RetransmitTimeout).
+	TypeAck = proto.RangeDCNet + 6
+	// TypeNack requests retransmission of one missing exchange message.
+	TypeNack = proto.RangeDCNet + 7
 )
+
+// Kind tags which exchange message an Ack/Nack refers to. A round sends
+// at most one message of each kind per directed peer pair, so
+// (round, kind) identifies a reliable message without adding sequence
+// numbers to the exchange messages themselves (their encodings — and
+// therefore every zero-impairment byte table — stay untouched).
+const (
+	// KindShare tags the step-2 share.
+	KindShare uint8 = iota + 1
+	// KindSPartial tags the step-5 S-partial.
+	KindSPartial
+	// KindTPartial tags the step-8 T-partial.
+	KindTPartial
+	// KindCommit tags the blame-mode commitment.
+	KindCommit
+	// KindReveal tags the blame-phase opening.
+	KindReveal
+)
+
+// AckMsg confirms receipt of the (Round, Kind) exchange message. Sent
+// for every received copy — a duplicate receipt means the earlier ack
+// was probably lost, so it is re-acknowledged. Acks are themselves
+// unreliable; a lost ack merely costs one retransmission.
+type AckMsg struct {
+	Round uint32
+	Kind  uint8
+}
+
+// Type implements proto.Message.
+func (*AckMsg) Type() proto.MsgType { return TypeAck }
+
+// EncodeTo implements wire.Encodable.
+func (m *AckMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.U8(m.Kind)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *AckMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	m.Kind = r.U8()
+	return r.Err()
+}
+
+// NackMsg asks the receiver to retransmit its (Round, Kind) message —
+// the fast-path recovery a stalled member sends when the next round's
+// timer finds the previous round still missing inputs; the sender-side
+// retransmit timeout remains the backstop.
+type NackMsg struct {
+	Round uint32
+	Kind  uint8
+}
+
+// Type implements proto.Message.
+func (*NackMsg) Type() proto.MsgType { return TypeNack }
+
+// EncodeTo implements wire.Encodable.
+func (m *NackMsg) EncodeTo(w *wire.Writer) {
+	w.U32(m.Round)
+	w.U8(m.Kind)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *NackMsg) DecodeFrom(r *wire.Reader) error {
+	m.Round = r.U32()
+	m.Kind = r.U8()
+	return r.Err()
+}
 
 // ShareMsg is one member's share for one peer in one round. Data is the
 // raw share, or its AEAD sealing when pairwise channels are configured.
@@ -174,6 +247,8 @@ func RegisterMessages(c *wire.Codec) {
 	c.Register(TypeTPartial, func() wire.Encodable { return new(TPartialMsg) })
 	c.Register(TypeCommit, func() wire.Encodable { return new(CommitMsg) })
 	c.Register(TypeReveal, func() wire.Encodable { return new(RevealMsg) })
+	c.Register(TypeAck, func() wire.Encodable { return new(AckMsg) })
+	c.Register(TypeNack, func() wire.Encodable { return new(NackMsg) })
 }
 
 // Compile-time interface checks.
@@ -183,4 +258,6 @@ var (
 	_ wire.Encodable = (*TPartialMsg)(nil)
 	_ wire.Encodable = (*CommitMsg)(nil)
 	_ wire.Encodable = (*RevealMsg)(nil)
+	_ wire.Encodable = (*AckMsg)(nil)
+	_ wire.Encodable = (*NackMsg)(nil)
 )

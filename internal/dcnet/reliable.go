@@ -1,0 +1,328 @@
+package dcnet
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/proto"
+)
+
+// Reliability layer (loss tolerance). The Fig.-4 round is a barrier on
+// every peer's share and partials, so a single dropped message stalls
+// the round for the whole group — the failure mode E15 exposed at ≥5%
+// loss. When Config.RetransmitTimeout is set, every exchange message
+// (share, S/T-partial, and the blame commitments/reveals) is tracked
+// until the receiver acknowledges it:
+//
+//   - the receiver acks every received copy (AckMsg) — duplicates
+//     re-ack, because a duplicate means the earlier ack probably died;
+//   - the sender retransmits an unacked message after RetransmitTimeout,
+//     up to RetryBudget times, then gives up (the round then stalls
+//     into the Timeout/abandon path like any other permanent failure);
+//   - a member whose round timer finds the previous round still missing
+//     inputs nacks the owing peers (NackMsg), pulling a retransmission
+//     immediately instead of waiting out the sender's timeout.
+//
+// A message is identified by (round, kind): each round sends at most
+// one message of each kind per directed peer pair, so the existing
+// round plumbing doubles as the retransmission index and the exchange
+// encodings stay byte-identical to the unreliable protocol.
+//
+// Failover (membership layer, §IV-C). With Config.EvictAfter = K > 0 a
+// stalled round is not fatal: when it exceeds Config.Timeout it is
+// abandoned — every peer that stayed completely silent for the round
+// (no share, no partial, not even an ack) is charged a miss, everyone
+// else's miss counter resets — and the round sequence continues. A peer
+// reaching K consecutive misses is evicted: the group re-keys around
+// the survivors (fresh epoch, per-round share vectors regenerated over
+// the shrunk membership, in-flight rounds discarded) and keeps running,
+// unless the eviction would shrink the group below Config.MinMembers,
+// in which case it dissolves and the membership layer re-forms it.
+// Detection is symmetric — every member runs the same timers against
+// the same observations, so a crashed peer is evicted by all survivors
+// within one round of each other; a transiently inconsistent view
+// cannot deliver (mismatched share vectors XOR to CRC-garbage, never to
+// a forged message) and heals at the next abandon.
+
+// relKey identifies one reliable message in flight to one peer.
+type relKey struct {
+	peer  proto.NodeID
+	round uint32
+	kind  uint8
+}
+
+// relPending is the sender-side retransmission state of one message.
+type relPending struct {
+	msg      proto.Message
+	attempts int // retransmissions performed so far
+	timer    proto.TimerID
+}
+
+// relTimer is the retransmit-timeout payload.
+type relTimer struct {
+	peer  proto.NodeID
+	round uint32
+	kind  uint8
+}
+
+// reliable reports whether the ack/retransmit layer is active.
+func (m *Member) reliable() bool { return m.cfg.RetransmitTimeout > 0 }
+
+// failover reports whether stalled rounds are abandoned and silent
+// peers evicted instead of the group dissolving on first stall.
+func (m *Member) failover() bool { return m.cfg.EvictAfter > 0 }
+
+// sendReliable transmits msg and, when the reliability layer is on,
+// tracks it for acknowledgement under (round, kind).
+func (m *Member) sendReliable(ctx proto.Context, to proto.NodeID, msg proto.Message, round uint32, kind uint8) {
+	ctx.Send(to, msg)
+	if !m.reliable() {
+		return
+	}
+	key := relKey{peer: to, round: round, kind: kind}
+	if old, ok := m.pending[key]; ok {
+		ctx.CancelTimer(old.timer)
+	}
+	if m.pending == nil {
+		m.pending = make(map[relKey]*relPending)
+	}
+	m.pending[key] = &relPending{
+		msg:   msg,
+		timer: ctx.SetTimer(m.cfg.RetransmitTimeout, relTimer{peer: to, round: round, kind: kind}),
+	}
+}
+
+// ackIncoming acknowledges a received reliable message and records the
+// peer as alive for the round's silence accounting. It must run before
+// any duplicate check: a duplicate means the previous ack was lost.
+func (m *Member) ackIncoming(ctx proto.Context, from proto.NodeID, round uint32, kind uint8) {
+	m.heard(from, round)
+	if m.reliable() {
+		ctx.Send(from, &AckMsg{Round: round, Kind: kind})
+	}
+}
+
+// heard marks peer activity for a round without creating round state
+// for rounds already garbage-collected.
+func (m *Member) heard(from proto.NodeID, round uint32) {
+	if !m.failover() {
+		return
+	}
+	rs := m.rounds[round]
+	if rs == nil {
+		return
+	}
+	if rs.heard == nil {
+		rs.heard = make(map[proto.NodeID]bool, len(m.peers))
+	}
+	rs.heard[from] = true
+}
+
+func (m *Member) onAck(ctx proto.Context, from proto.NodeID, msg *AckMsg) {
+	if m.stopped || !m.isPeer(from) || !m.reliable() {
+		return
+	}
+	m.heard(from, msg.Round)
+	key := relKey{peer: from, round: msg.Round, kind: msg.Kind}
+	if p, ok := m.pending[key]; ok {
+		ctx.CancelTimer(p.timer)
+		delete(m.pending, key)
+	}
+}
+
+func (m *Member) onNack(ctx proto.Context, from proto.NodeID, msg *NackMsg) {
+	if m.stopped || !m.isPeer(from) || !m.reliable() {
+		return
+	}
+	m.heard(from, msg.Round)
+	key := relKey{peer: from, round: msg.Round, kind: msg.Kind}
+	p, ok := m.pending[key]
+	if !ok || p.attempts >= m.cfg.RetryBudget {
+		return
+	}
+	ctx.CancelTimer(p.timer)
+	m.retransmit(ctx, key, p)
+}
+
+// onRelTimer handles one retransmit timeout.
+func (m *Member) onRelTimer(ctx proto.Context, t relTimer) {
+	if m.stopped {
+		return
+	}
+	key := relKey{peer: t.peer, round: t.round, kind: t.kind}
+	p, ok := m.pending[key]
+	if !ok {
+		return
+	}
+	if p.attempts >= m.cfg.RetryBudget {
+		// Budget exhausted: give up on this copy. The round either
+		// recovers through the peer's nack or stalls into the
+		// Timeout/abandon machinery.
+		delete(m.pending, key)
+		return
+	}
+	m.retransmit(ctx, key, p)
+}
+
+func (m *Member) retransmit(ctx proto.Context, key relKey, p *relPending) {
+	p.attempts++
+	m.Retransmits++
+	ctx.Send(key.peer, p.msg)
+	p.timer = ctx.SetTimer(m.cfg.RetransmitTimeout, relTimer{peer: key.peer, round: key.round, kind: key.kind})
+}
+
+// nackMissing asks the owing peers for the inputs a stalled round still
+// lacks — invoked when the next round's timer fires and finds the
+// previous round incomplete. Only inputs the round is actually waiting
+// on are nacked: partials are requested only once this member's own
+// barrier for the prior step has passed (before that the peer may
+// legitimately not have sent them).
+func (m *Member) nackMissing(ctx proto.Context, rs *roundState) {
+	if !m.reliable() || rs.complete {
+		return
+	}
+	m.Nacks++
+	for _, p := range m.peers {
+		if _, ok := rs.gotShares[p]; !ok {
+			ctx.Send(p, &NackMsg{Round: rs.number, Kind: KindShare})
+			continue
+		}
+		if rs.sSent {
+			if _, ok := rs.gotSPart[p]; !ok {
+				ctx.Send(p, &NackMsg{Round: rs.number, Kind: KindSPartial})
+				continue
+			}
+		}
+		if rs.tSent {
+			if _, ok := rs.gotTPart[p]; !ok {
+				ctx.Send(p, &NackMsg{Round: rs.number, Kind: KindTPartial})
+			}
+		}
+	}
+}
+
+// dropRoundPending cancels retransmission state for one round.
+func (m *Member) dropRoundPending(ctx proto.Context, round uint32) {
+	for key, p := range m.pending {
+		if key.round == round {
+			ctx.CancelTimer(p.timer)
+			delete(m.pending, key)
+		}
+	}
+}
+
+// dropPeerPending cancels retransmission state toward one peer.
+func (m *Member) dropPeerPending(ctx proto.Context, peer proto.NodeID) {
+	for key, p := range m.pending {
+		if key.peer == peer {
+			ctx.CancelTimer(p.timer)
+			delete(m.pending, key)
+		}
+	}
+}
+
+// abandonRound gives up on a stalled round under failover: silence is
+// charged, the round is closed as failed, and the round sequence moves
+// on. Completion-blind peers (crashed or partitioned) accumulate misses
+// here until evictSilent removes them.
+func (m *Member) abandonRound(ctx proto.Context, rs *roundState) {
+	rs.complete = true
+	rs.failed = true
+	m.RoundsAbandoned++
+	m.dropRoundPending(ctx, rs.number)
+	for _, p := range m.peers {
+		if rs.heard[p] {
+			m.missed[p] = 0
+		} else {
+			m.missed[p]++
+		}
+	}
+	// An abandoned data round returns the reservation; the queued
+	// payload re-bids at the next announcement.
+	m.reserved = false
+	m.nextKind = initialKind(m.cfg.Mode)
+
+	m.evictSilent(ctx)
+	if m.stopped {
+		return
+	}
+	m.gc(rs.number)
+	if m.deferred == rs.number+1 {
+		next := m.deferred
+		m.deferred = 0
+		m.startRound(ctx, next)
+	}
+}
+
+// evictSilent evicts every peer whose consecutive-miss count reached
+// the threshold, in deterministic (sorted) order.
+func (m *Member) evictSilent(ctx proto.Context) {
+	for _, p := range slices.Clone(m.peers) {
+		if m.stopped {
+			return
+		}
+		if m.missed[p] >= m.cfg.EvictAfter {
+			m.evict(ctx, p)
+		}
+	}
+}
+
+// evict removes a peer from the group: the membership shrinks, the
+// epoch advances (re-key — subsequent rounds split fresh share vectors
+// over the survivors), in-flight rounds are discarded, and the caller's
+// OnEvict hook fires so the membership layer (directory/manager) can be
+// told. Shrinking below MinMembers dissolves the group instead of
+// running it under the configured anonymity floor.
+func (m *Member) evict(ctx proto.Context, p proto.NodeID) {
+	if !slices.Contains(m.peers, p) {
+		return
+	}
+	if i := slices.Index(m.members, p); i >= 0 {
+		m.members = slices.Delete(m.members, i, i+1)
+	}
+	if i := slices.Index(m.peers, p); i >= 0 {
+		m.peers = slices.Delete(m.peers, i, i+1)
+	}
+	delete(m.missed, p)
+	m.dropPeerPending(ctx, p)
+	m.epoch++
+	m.Evictions++
+
+	// Discard in-flight rounds: their barriers and share vectors were
+	// sized to the old membership. The next scheduled round starts the
+	// new epoch from a clean announce.
+	for _, rs := range m.rounds {
+		if rs.started && !rs.complete {
+			rs.complete = true
+			rs.failed = true
+			if rs.hasTimeout {
+				ctx.CancelTimer(rs.timeoutID)
+				rs.hasTimeout = false
+			}
+			m.dropRoundPending(ctx, rs.number)
+		}
+		// Inputs already received from the evicted peer would skew the
+		// exact-count barriers of rounds not yet started.
+		delete(rs.gotShares, p)
+		delete(rs.gotSPart, p)
+		delete(rs.gotTPart, p)
+		delete(rs.gotCommits, p)
+		delete(rs.gotReveals, p)
+		delete(rs.heard, p)
+	}
+	m.reserved = false
+	m.nextKind = initialKind(m.cfg.Mode)
+	if m.blameRound != 0 {
+		// A blame phase waiting on the evicted peer's reveal can never
+		// finish; the failed round it was judging is gone with the epoch.
+		m.blameRound = 0
+	}
+
+	if m.cfg.OnEvict != nil {
+		m.cfg.OnEvict(ctx, p, slices.Clone(m.members))
+	}
+	if len(m.members) < m.cfg.MinMembers {
+		m.dissolve(ctx, fmt.Sprintf("group of %d below floor %d after evicting %d",
+			len(m.members), m.cfg.MinMembers, p))
+	}
+}

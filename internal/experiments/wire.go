@@ -42,6 +42,8 @@ var wireTypes = []WireType{
 	{dcnet.TypeTPartial, "dcnet/t-partial", PhaseDCNet},
 	{dcnet.TypeCommit, "dcnet/commit", PhaseDCNet},
 	{dcnet.TypeReveal, "dcnet/reveal", PhaseDCNet},
+	{dcnet.TypeAck, "dcnet/ack", PhaseDCNet},
+	{dcnet.TypeNack, "dcnet/nack", PhaseDCNet},
 	{dandelion.TypeStem, "dandelion/stem", PhaseStem},
 	{node.TypeBlock, "chain/block", PhaseChain},
 }

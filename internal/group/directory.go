@@ -64,9 +64,10 @@ type Directory struct {
 	byNode  map[proto.NodeID][]ID
 	pending []proto.NodeID
 
-	// Splits and merges counted for experiments.
+	// Splits, merges and failover evictions counted for experiments.
 	Splits    int
 	Dissolves int
+	Evictions int
 }
 
 // NewDirectory returns a Directory with anonymity parameter k and no
@@ -162,6 +163,20 @@ func (d *Directory) Leave(n proto.NodeID, rng *rand.Rand) error {
 	delete(d.byNode, n)
 	d.rebalance(rng)
 	return nil
+}
+
+// Evict removes a crashed or unresponsive node on a member's report —
+// the directory side of DC-net failover. It is Leave with eviction
+// accounting and idempotence: concurrent reports from several survivors
+// all land here, and every report after the first is a no-op rather
+// than an error. The evictee does not re-enter the pending pool (it is
+// gone, not waiting for placement).
+func (d *Directory) Evict(n proto.NodeID, rng *rand.Rand) error {
+	if !d.Known(n) {
+		return nil // already evicted (or never joined) — idempotent
+	}
+	d.Evictions++
+	return d.Leave(n, rng)
 }
 
 // dissolve removes a group and sends its members back to placement

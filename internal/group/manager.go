@@ -19,6 +19,8 @@ const (
 	TypeViewAck = proto.RangeGroup + 4
 	// TypeViewCommit finalizes a view after a 2f+1 quorum of acks.
 	TypeViewCommit = proto.RangeGroup + 5
+	// TypeEvictNotice reports a failover eviction to the manager.
+	TypeEvictNotice = proto.RangeGroup + 6
 )
 
 // JoinReq asks the manager to place the sender in a group.
@@ -80,6 +82,27 @@ func (m *ViewUpdate) DecodeFrom(r *wire.Reader) error {
 	return r.Err()
 }
 
+// EvictNotice is a member's report that its DC-net layer evicted a
+// silent peer (failover): the manager removes the evictee from the
+// directory and re-proposes views for every group that changed. Reports
+// are idempotent at the directory, so every survivor may (and should)
+// send one.
+type EvictNotice struct {
+	Peer proto.NodeID
+}
+
+// Type implements proto.Message.
+func (*EvictNotice) Type() proto.MsgType { return TypeEvictNotice }
+
+// EncodeTo implements wire.Encodable.
+func (m *EvictNotice) EncodeTo(w *wire.Writer) { w.NodeID(m.Peer) }
+
+// DecodeFrom implements wire.Encodable.
+func (m *EvictNotice) DecodeFrom(r *wire.Reader) error {
+	m.Peer = r.NodeID()
+	return r.Err()
+}
+
 // ViewAck acknowledges a ViewUpdate.
 type ViewAck struct {
 	View uint64
@@ -129,6 +152,7 @@ func RegisterMessages(c *wire.Codec) {
 	c.Register(TypeViewUpdate, func() wire.Encodable { return new(ViewUpdate) })
 	c.Register(TypeViewAck, func() wire.Encodable { return new(ViewAck) })
 	c.Register(TypeViewCommit, func() wire.Encodable { return new(ViewCommit) })
+	c.Register(TypeEvictNotice, func() wire.Encodable { return new(EvictNotice) })
 }
 
 // Compile-time interface checks.
@@ -138,6 +162,7 @@ var (
 	_ wire.Encodable = (*ViewUpdate)(nil)
 	_ wire.Encodable = (*ViewAck)(nil)
 	_ wire.Encodable = (*ViewCommit)(nil)
+	_ wire.Encodable = (*EvictNotice)(nil)
 )
 
 // pendingView tracks one proposed view at the manager.
@@ -176,8 +201,11 @@ func NewManager(dir *Directory) *Manager {
 // Directory exposes the underlying directory (read-only use).
 func (m *Manager) Directory() *Directory { return m.dir }
 
-// Init implements proto.Handler.
-func (*Manager) Init(proto.Context) {}
+// Init implements proto.Handler: a directory seeded before the manager
+// boots (explicit groups, restored state) has its views proposed
+// immediately, so members need no artificial join traffic to learn
+// their initial membership.
+func (m *Manager) Init(ctx proto.Context) { m.broadcastChangedViews(ctx) }
 
 // HandleTimer implements proto.Handler.
 func (*Manager) HandleTimer(proto.Context, any) {}
@@ -195,9 +223,29 @@ func (m *Manager) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.
 			return
 		}
 		m.broadcastChangedViews(ctx)
+	case *EvictNotice:
+		// Only a current co-member of the evictee may report it (the
+		// honest-but-curious form of an authenticated accusation).
+		if !m.coMembers(from, mm.Peer) {
+			return
+		}
+		if err := m.dir.Evict(mm.Peer, ctx.Rand()); err != nil {
+			return
+		}
+		m.broadcastChangedViews(ctx)
 	case *ViewAck:
 		m.onAck(ctx, from, mm)
 	}
+}
+
+// coMembers reports whether a and b currently share a group.
+func (m *Manager) coMembers(a, b proto.NodeID) bool {
+	for _, gid := range m.dir.GroupsOf(a) {
+		if g := m.dir.Group(gid); g != nil && g.Contains(b) {
+			return true
+		}
+	}
+	return false
 }
 
 func membersKey(members []proto.NodeID) string {
@@ -288,6 +336,12 @@ func (c *Client) Join(ctx proto.Context) { ctx.Send(c.manager, &JoinReq{}) }
 
 // Leave announces departure.
 func (c *Client) Leave(ctx proto.Context) { ctx.Send(c.manager, &LeaveReq{}) }
+
+// ReportEvict reports a failover eviction observed by this member's
+// DC-net layer (wire dcnet.Config.OnEvict to it).
+func (c *Client) ReportEvict(ctx proto.Context, peer proto.NodeID) {
+	ctx.Send(c.manager, &EvictNotice{Peer: peer})
+}
 
 // Init implements proto.Handler.
 func (*Client) Init(proto.Context) {}

@@ -14,7 +14,7 @@ func BenchmarkShaperDecide(b *testing.B) {
 	s := Flaky.Shaper(42)
 	var sink time.Duration
 	for i := 0; i < b.N; i++ {
-		d, drop := s.Decide(3, 7, uint64(i))
+		d, drop := s.Decide(3, 7, 0x0100, uint64(i))
 		if !drop {
 			sink += d
 		}

@@ -36,7 +36,7 @@ func FuzzParseProfile(f *testing.F) {
 		// A parsed profile must be usable: shaper decisions and churn
 		// expansion must not panic on any accepted spec.
 		sh := p.Shaper(1)
-		if d, drop := sh.Decide(1, 2, 3); !drop && d < 0 {
+		if d, drop := sh.Decide(1, 2, 0x0100, 3); !drop && d < 0 {
 			t.Fatalf("negative delay %v from parsed profile %q", d, spec)
 		}
 		_ = p.Churn.Events(16, 1)

@@ -310,8 +310,16 @@ func (m RandModel) Delay(_, _ proto.NodeID, rng *rand.Rand) time.Duration {
 // Shaper makes hash-mode link decisions for one (profile, seed) pair:
 // Decide is a pure function, so the simulator and the transport — and
 // any number of Shaper values built from the same inputs — agree on
-// every decision without sharing state. Per-link sequence numbers are
-// the caller's (each runtime counts messages per directed link).
+// every decision without sharing state. Sequence numbers are the
+// caller's, counted per (directed link, message type): the per-type
+// stream split is what keeps a multi-protocol link comparable across
+// runtimes — the interleaving of two different message types on one
+// link (an ACK racing a round barrier, say) can legitimately flip
+// between a virtual-time and a wall-clock run, and a shared per-link
+// counter would then hand the same message different decision words on
+// the two sides. Keyed per (link, type), each message's word depends
+// only on its position within its own type's FIFO stream, which the
+// protocol's round structure pins down on both runtimes.
 type Shaper struct {
 	p       Profile
 	seed    uint64
@@ -336,17 +344,22 @@ const (
 )
 
 // Decide returns the hold delay and drop verdict for the seq-th message
-// on the directed link from→to.
-func (s Shaper) Decide(from, to proto.NodeID, seq uint64) (delay time.Duration, drop bool) {
+// of wire type tp on the directed link from→to. The type is folded into
+// the decision word (alongside the link and the per-type sequence), so
+// distinct types on one link draw from independent streams.
+func (s Shaper) Decide(from, to proto.NodeID, tp proto.MsgType, seq uint64) (delay time.Duration, drop bool) {
 	link := uint64(uint32(from))<<32 | uint64(uint32(to))
-	if s.lossThr > 0 && linkWord(s.seed, link, seq, purposeDrop)>>11 < s.lossThr {
+	// Sequence numbers are per-type message counts: far below 2^48 in
+	// any feasible run, so the fold is collision-free.
+	w := seq | uint64(tp)<<48
+	if s.lossThr > 0 && linkWord(s.seed, link, w, purposeDrop)>>11 < s.lossThr {
 		return 0, true
 	}
 	if s.p.Latency != nil {
-		delay = s.p.Latency.At(linkWord(s.seed, link, seq, purposeLat))
+		delay = s.p.Latency.At(linkWord(s.seed, link, w, purposeLat))
 	}
 	if s.p.Jitter != nil {
-		delay += s.p.Jitter.At(linkWord(s.seed, link, seq, purposeJit))
+		delay += s.p.Jitter.At(linkWord(s.seed, link, w, purposeJit))
 	}
 	return delay, false
 }

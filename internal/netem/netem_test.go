@@ -65,17 +65,20 @@ func TestShaperDeterminism(t *testing.T) {
 	p := Profile{Latency: Const(20 * time.Millisecond), Jitter: Uniform{Hi: 10 * time.Millisecond}, Loss: 0.1}
 	a, b := p.Shaper(42), p.Shaper(42)
 	other := p.Shaper(43)
-	var diverged bool
+	var diverged, typeDiverged bool
 	for from := proto.NodeID(0); from < 8; from++ {
 		for to := proto.NodeID(0); to < 8; to++ {
 			for seq := uint64(0); seq < 64; seq++ {
-				d1, k1 := a.Decide(from, to, seq)
-				d2, k2 := b.Decide(from, to, seq)
+				d1, k1 := a.Decide(from, to, 0x0100, seq)
+				d2, k2 := b.Decide(from, to, 0x0100, seq)
 				if d1 != d2 || k1 != k2 {
 					t.Fatalf("equal shapers disagree at (%d,%d,%d)", from, to, seq)
 				}
-				if d3, k3 := other.Decide(from, to, seq); d3 != d1 || k3 != k1 {
+				if d3, k3 := other.Decide(from, to, 0x0100, seq); d3 != d1 || k3 != k1 {
 					diverged = true
+				}
+				if d4, k4 := a.Decide(from, to, 0x0301, seq); d4 != d1 || k4 != k1 {
+					typeDiverged = true // distinct types draw independent streams
 				}
 				if !k1 && (d1 < 20*time.Millisecond || d1 > 30*time.Millisecond) {
 					t.Fatalf("delay %v outside latency+jitter bounds", d1)
@@ -85,6 +88,9 @@ func TestShaperDeterminism(t *testing.T) {
 	}
 	if !diverged {
 		t.Error("reseeding the shaper changed nothing — decisions are not seed-keyed")
+	}
+	if !typeDiverged {
+		t.Error("changing the message type changed nothing — decisions are not stream-keyed per type")
 	}
 }
 
@@ -96,7 +102,7 @@ func TestShaperLossRate(t *testing.T) {
 		drops := 0
 		const trials = 100000
 		for seq := uint64(0); seq < trials; seq++ {
-			if _, drop := s.Decide(1, 2, seq); drop {
+			if _, drop := s.Decide(1, 2, 0x0100, seq); drop {
 				drops++
 			}
 		}

@@ -189,6 +189,12 @@ type Probe struct {
 	DCRounds int
 	// DCStopped reports whether the DC-net member dissolved or stopped.
 	DCStopped bool
+	// DCGroupSize is the live group size (after failover evictions).
+	DCGroupSize int
+	// DCEvictions counts failover evictions this member performed.
+	DCEvictions int
+	// DCRetransmits counts reliability-layer retransmissions sent.
+	DCRetransmits int
 }
 
 // Probe snapshots the node's progress. It must run on the node's event
@@ -199,6 +205,9 @@ func (n *Node) Probe() Probe {
 	if m := n.protocol.Member(); m != nil {
 		p.DCRounds = m.RoundsCompleted
 		p.DCStopped = m.Stopped()
+		p.DCGroupSize = m.GroupSize()
+		p.DCEvictions = m.Evictions
+		p.DCRetransmits = m.Retransmits
 	}
 	return p
 }

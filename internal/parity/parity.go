@@ -146,6 +146,18 @@ type Scenario struct {
 	ADInterval time.Duration
 	// Q is Dandelion's per-hop fluff probability (default 0.25).
 	Q float64
+	// Reliable enables the composed stack's loss-tolerance layer:
+	// DC-net ack/retransmit (RTO reliableRTO, budget 3) plus the
+	// group-member flood fail-safe (FailSafe). It is what makes a lossy
+	// composed scenario *legal*: retransmission decisions are pure
+	// functions of the seeded drop pattern (see the package comment),
+	// so the two runtimes retransmit — and count — identically.
+	Reliable bool
+	// FailSafe is the fail-safe deadline armed at each group member on
+	// Phase-1 recovery (default 2 s when Reliable; it must comfortably
+	// exceed the healthy run's full Phase 2+3 span, so that "flood
+	// arrived by the deadline" is unambiguous on both runtimes).
+	FailSafe time.Duration
 
 	// Netem applies one network-condition profile to both runs: the sim
 	// delivers through Options.Netem and every transport node shapes its
@@ -155,11 +167,15 @@ type Scenario struct {
 	// even on a lossy, jittered network. Delivery-time distributions are
 	// the quantity that only matches statistically; set DistTolerance to
 	// check them. Churn profiles are rejected (a wall-clock cluster
-	// cannot replay virtual-time crashes), as is any variant other than
-	// flood when the profile carries loss: flood is the variant whose
-	// per-type totals are provably independent of arrival order under
-	// per-link seeded drops (each directed link carries at most one data
-	// message, so every drop decision is a pure link property).
+	// cannot replay virtual-time crashes). Loss profiles are legal for
+	// flood — whose per-type totals are arrival-order independent (each
+	// directed link carries at most one data message) — and for the
+	// composed stack with Reliable set: drop decisions key on per-(link,
+	// type) seeded streams, so each message's fate depends only on its
+	// position within its own type's FIFO stream, and the reliability
+	// layer's retransmissions become the same pure function of the seed
+	// on both sides (the ROADMAP's "shaped-parity exactness beyond
+	// flood").
 	Netem *netem.Profile
 	// DistTolerance, when positive, checks the delivery-time
 	// distributions: each probed quantile must satisfy
@@ -216,6 +232,9 @@ func (sc *Scenario) applyDefaults() {
 	if sc.Q == 0 {
 		sc.Q = 0.25
 	}
+	if sc.Reliable && sc.FailSafe <= 0 {
+		sc.FailSafe = 2 * time.Second
+	}
 	if sc.Timeout <= 0 {
 		sc.Timeout = 60 * time.Second
 	}
@@ -269,12 +288,32 @@ func (sc *Scenario) validate() error {
 		if sc.Netem.Churn.Enabled() {
 			return fmt.Errorf("parity: churn profiles are simulator-only (no faithful wall-clock replay)")
 		}
-		if sc.Netem.Loss > 0 && sc.Variant != VariantFlood {
-			return fmt.Errorf("parity: loss profiles require the flood variant (the only one whose counts are arrival-order independent under per-link drops)")
+		switch {
+		case sc.Netem.Loss == 0:
+		case sc.Variant == VariantFlood:
+			// Flood counts are arrival-order independent under per-link
+			// seeded drops: each directed link carries at most one data
+			// message.
+		case sc.Variant == VariantComposed && sc.Reliable:
+			// The reliability layer restores exact comparability for the
+			// composed stack: per-(link, type) drop streams make every
+			// loss — and therefore every retransmission — the same pure
+			// function of the seed on both runtimes.
+		default:
+			return fmt.Errorf("parity: loss profiles require the flood variant or the reliable composed stack (Scenario.Reliable)")
 		}
 	}
 	return nil
 }
+
+// reliableRTO is the DC-net retransmit timeout of reliable scenarios.
+// Two constraints pick it: it must exceed the profile's worst-case data
+// + ack round trip by a margin far above scheduler noise (or the real
+// run retransmits messages whose acks are merely in flight), and it
+// must not divide the DC round interval (or a k-th retransmission of a
+// multiply-dropped message lands exactly on a round-timer tick, whose
+// event-order tie the two runtimes may break differently).
+const reliableRTO = 130 * time.Millisecond
 
 // lossy reports whether the scenario's profile sheds messages — the
 // runs then settle on counter stability instead of full coverage.
@@ -344,6 +383,11 @@ func (sc *Scenario) handler(id proto.NodeID, hashes map[proto.NodeID][32]byte) p
 			ADInterval:  sc.ADInterval,
 			TreeDegree:  sc.treeDegree(),
 		}}
+		if sc.Reliable {
+			cfg.Core.DCRetransmitTimeout = reliableRTO
+			cfg.Core.DCRetryBudget = 3
+			cfg.Core.FailSafe = sc.FailSafe
+		}
 		for _, m := range sc.Group {
 			if m == id {
 				cfg.Core.Group = sc.Group

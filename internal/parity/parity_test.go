@@ -167,8 +167,9 @@ func TestParityShapedMemNet(t *testing.T) {
 }
 
 // TestShapedScenarioValidation pins the shaped-run guard rails: churn
-// profiles and lossy non-flood variants measure something the harness
-// cannot compare exactly, so they must be rejected up front.
+// profiles and lossy scenarios the harness cannot compare exactly must
+// be rejected up front — and the reliable composed stack, whose
+// retransmissions are a pure function of the seeded drops, must not be.
 func TestShapedScenarioValidation(t *testing.T) {
 	churny := netem.Churny
 	if _, err := Run(Scenario{Variant: VariantFlood, N: 8, Netem: &churny}); err == nil {
@@ -176,7 +177,75 @@ func TestShapedScenarioValidation(t *testing.T) {
 	}
 	lossy := netem.Lossy
 	if _, err := Run(Scenario{Variant: VariantComposed, N: 8, Netem: &lossy}); err == nil {
-		t.Error("lossy composed scenario accepted (counts are arrival-order dependent)")
+		t.Error("lossy composed scenario without the reliability layer accepted (counts are arrival-order dependent)")
+	}
+	if _, err := Run(Scenario{Variant: VariantAdaptive, N: 8, Netem: &lossy}); err == nil {
+		t.Error("lossy adaptive scenario accepted (no reliability layer exists for it)")
+	}
+	ok := Scenario{Variant: VariantComposed, N: 8, Netem: &lossy, Reliable: true}
+	ok.applyDefaults()
+	if err := ok.validate(); err != nil {
+		t.Errorf("reliable lossy composed scenario rejected: %v", err)
+	}
+	if ok.FailSafe <= 0 {
+		t.Error("reliable scenario defaulted without a fail-safe deadline")
+	}
+}
+
+// TestParityShapedComposed is the "shaped-parity exactness beyond
+// flood" scenario: the full three-phase stack runs over a 5%-loss,
+// jittered MemNet with the DC-net reliability layer on — messages die
+// inside Phase 1's barrier exchanges and are retransmitted — and every
+// per-type message count, byte total, and the per-node delivery set
+// still match the simulator exactly, because drops (and therefore
+// retransmissions and fail-safe decisions) are the same pure function
+// of (seed, link, type, seq) on both sides.
+func TestParityShapedComposed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster run; skipped with -short")
+	}
+	profile := netem.Profile{
+		Name:    "shaped-composed-test",
+		Latency: netem.Const(10 * time.Millisecond),
+		Jitter:  netem.Uniform{Hi: 5 * time.Millisecond},
+		Loss:    0.05,
+	}
+	rep := runScenario(t, Scenario{
+		Variant:       VariantComposed,
+		Transport:     TransportMem,
+		N:             64,
+		Netem:         &profile,
+		Reliable:      true,
+		DCInterval:    300 * time.Millisecond,
+		DistTolerance: 1.0,
+		WallTolerance: 60,
+	})
+	if rep.Sim.NetemDropped == 0 || rep.Real.NetemDropped == 0 {
+		t.Errorf("shaped composed run shed no messages (sim %d, real %d) — loss profile not exercised",
+			rep.Sim.NetemDropped, rep.Real.NetemDropped)
+	}
+	// The reliability layer must actually have worked: acks flowed, and
+	// with ~5% loss across three bounded DC rounds at least one exchange
+	// message should have needed a retransmission — visible as the share
+	// (or partial) counts exceeding the lossless closed form g·(g−1) per
+	// round... or at minimum as a nonzero ack surplus. Assert the layer
+	// ran without over-fitting the seed: acks present on both sides and
+	// exactly equal (runScenario already failed on any divergence).
+	if rep.Sim.Msgs[dcnet.TypeAck] == 0 {
+		t.Error("reliable composed run sent no acks — reliability layer inactive")
+	}
+	g := int64(len(rep.Scenario.Group))
+	rounds := int64(rep.Scenario.DCRounds)
+	baseline := rounds * g * (g - 1)
+	retransmitted := rep.Sim.Msgs[dcnet.TypeShare] + rep.Sim.Msgs[dcnet.TypeSPartial] + rep.Sim.Msgs[dcnet.TypeTPartial] - 3*baseline
+	if retransmitted < 0 {
+		t.Errorf("dc-net exchange counts below the lossless closed form (%d missing)", -retransmitted)
+	}
+	if rep.Sim.Delivered == 0 {
+		t.Error("shaped composed run delivered nothing")
+	}
+	if rep.Dist == nil || !rep.DistOK {
+		t.Errorf("delivery-time distribution missing or outside tolerance: %v", rep.Dist)
 	}
 }
 

@@ -265,9 +265,20 @@ func (c *cluster) settlePolls() int {
 	if (c.sc.Variant == VariantComposed || c.sc.Variant == VariantAdaptive) && 2*c.sc.ADInterval > gap {
 		gap = 2 * c.sc.ADInterval
 	}
+	var maxDelay time.Duration
 	if c.sc.Netem != nil {
-		if hold := 2 * c.sc.Netem.MaxDelay(); hold > gap {
+		maxDelay = c.sc.Netem.MaxDelay()
+		if hold := 2 * maxDelay; hold > gap {
 			gap = hold
+		}
+	}
+	if c.sc.Reliable && c.sc.FailSafe > 0 {
+		// A reliable composed run can go completely quiet between the
+		// last Phase-3 message and the group members' fail-safe
+		// deadline — and whatever the fail-safe floods must land before
+		// the snapshot. Out-wait that whole window.
+		if fs := c.sc.FailSafe + 2*maxDelay + 500*time.Millisecond; fs > gap {
+			gap = fs
 		}
 	}
 	return int(gap / pollInterval)

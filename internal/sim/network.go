@@ -62,9 +62,57 @@ type counterPage [256]typeCounter
 // linkArrival tracks FIFO state for one directed link outside the
 // topology (e.g. DC-net group overlays that Send to arbitrary members).
 type linkArrival struct {
-	to  proto.NodeID
-	at  time.Duration
+	to      proto.NodeID
+	at      time.Duration
+	streams linkStream
+}
+
+// streamSeq is one (message type → next sequence) counter of a directed
+// link. Netem hash-mode decisions key on per-type streams (see
+// netem.Shaper); links carry a handful of types, so a linear scan beats
+// a map on the delivery hot path.
+type streamSeq struct {
+	tp  proto.MsgType
 	seq uint64
+}
+
+// linkStream holds a directed link's per-type sequence counters with
+// the dominant single-type case (a flood link carries exactly one type)
+// inlined: the first type seen costs no allocation, additional types
+// spill to the slice.
+type linkStream struct {
+	tp0  proto.MsgType
+	has0 bool
+	seq0 uint64
+	more []streamSeq
+}
+
+// next returns and advances the counter for tp.
+func (l *linkStream) next(tp proto.MsgType) uint64 {
+	if l.has0 && l.tp0 == tp {
+		seq := l.seq0
+		l.seq0 = seq + 1
+		return seq
+	}
+	if !l.has0 {
+		l.has0, l.tp0, l.seq0 = true, tp, 1
+		return 0
+	}
+	for i := range l.more {
+		if l.more[i].tp == tp {
+			seq := l.more[i].seq
+			l.more[i].seq = seq + 1
+			return seq
+		}
+	}
+	l.more = append(l.more, streamSeq{tp: tp, seq: 1})
+	return 0
+}
+
+// reset clears the counters for a fresh run, keeping the spill slice.
+func (l *linkStream) reset() {
+	l.has0, l.seq0 = false, 0
+	l.more = l.more[:0]
 }
 
 // Network hosts one Handler per topology node under the event engine.
@@ -90,10 +138,10 @@ type Network struct {
 	linkOff []int32
 	linkDst []proto.NodeID
 	linkAt  []time.Duration
-	// linkSeq counts messages per directed CSR link — the sequence
-	// numbers netem hash-mode decisions key on. Allocated only when
-	// Options.Netem is set.
-	linkSeq []uint64
+	// linkStreams counts messages per (directed CSR link, message type)
+	// — the sequence numbers netem hash-mode decisions key on. Allocated
+	// only when Options.Netem is set.
+	linkStreams []linkStream
 
 	// shaper holds the netem hash-mode decision function (nil without
 	// Options.Netem); netemDropped counts messages it killed.
@@ -141,7 +189,7 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 	if opts.Netem != nil {
 		sh := opts.Netem.Shaper(opts.Seed)
 		n.shaper = &sh
-		n.linkSeq = make([]uint64, len(n.linkDst))
+		n.linkStreams = make([]linkStream, len(n.linkDst))
 	}
 	for i := range n.nodes {
 		node := &n.nodes[i]
@@ -178,7 +226,9 @@ func (n *Network) Reset(seed uint64) {
 	if n.opts.Netem != nil {
 		sh := n.opts.Netem.Shaper(seed)
 		n.shaper = &sh
-		clear(n.linkSeq)
+		for i := range n.linkStreams {
+			n.linkStreams[i].reset()
+		}
 	}
 	for i := range n.nodes {
 		node := &n.nodes[i]
@@ -418,25 +468,25 @@ func (n *Network) recordDelivery(at time.Duration, node proto.NodeID, id proto.M
 
 // linkSlot returns the FIFO arrival cell for the directed link from→to
 // — a CSR cell for topology edges, a per-node overflow entry otherwise
-// — plus the link's netem sequence counter (nil unless shaped).
-func (n *Network) linkSlot(from *simNode, to proto.NodeID) (at *time.Duration, seq *uint64) {
+// — plus the link's per-type netem stream counters (nil unless shaped).
+func (n *Network) linkSlot(from *simNode, to proto.NodeID) (at *time.Duration, streams *linkStream) {
 	lo, hi := n.linkOff[from.id], n.linkOff[from.id+1]
 	for i, d := range n.linkDst[lo:hi] {
 		if d == to {
-			if n.linkSeq != nil {
-				seq = &n.linkSeq[lo+int32(i)]
+			if n.linkStreams != nil {
+				streams = &n.linkStreams[lo+int32(i)]
 			}
-			return &n.linkAt[lo+int32(i)], seq
+			return &n.linkAt[lo+int32(i)], streams
 		}
 	}
 	for i := range from.extra {
 		if from.extra[i].to == to {
-			return &from.extra[i].at, &from.extra[i].seq
+			return &from.extra[i].at, &from.extra[i].streams
 		}
 	}
 	from.extra = append(from.extra, linkArrival{to: to})
 	e := &from.extra[len(from.extra)-1]
-	return &e.at, &e.seq
+	return &e.at, &e.streams
 }
 
 func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
@@ -457,15 +507,14 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 		tap.OnSend(n.engine.Now(), from.id, to, msg)
 	}
 	var delay time.Duration
-	slot, seqSlot := n.linkSlot(from, to)
+	slot, streams := n.linkSlot(from, to)
 	if n.shaper != nil {
 		// Shaped path: loss and delay are hash decisions on the link's
-		// message sequence — the counters the transport runtime keeps
-		// too, so both runtimes kill and hold the same messages.
-		seq := *seqSlot
-		*seqSlot = seq + 1
+		// per-type message sequence — the counters the transport runtime
+		// keeps too, so both runtimes kill and hold the same messages.
+		seq := streams.next(msg.Type())
 		var drop bool
-		delay, drop = n.shaper.Decide(from.id, to, seq)
+		delay, drop = n.shaper.Decide(from.id, to, msg.Type(), seq)
 		if drop {
 			n.netemDropped++
 			return

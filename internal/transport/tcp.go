@@ -101,9 +101,11 @@ type Node struct {
 	stats  wireStats
 
 	// Netem link state, touched only on the event-loop goroutine (Send
-	// runs there): per-destination message sequence numbers and the
-	// monotone release clamp that keeps shaped frames in FIFO order.
-	linkSeq     map[proto.NodeID]uint64
+	// runs there): per-(destination, message type) sequence numbers —
+	// the per-type streams netem hash decisions key on, mirroring the
+	// simulator's counters — and the monotone release clamp that keeps
+	// shaped frames in FIFO order.
+	linkSeq     map[uint64]uint64
 	linkRelease map[proto.NodeID]time.Time
 
 	mu        sync.Mutex
@@ -284,7 +286,7 @@ func Listen(cfg Config) (*Node, error) {
 		timers:   make(map[proto.TimerID]*time.Timer),
 	}
 	if cfg.Shaper != nil {
-		n.linkSeq = make(map[proto.NodeID]uint64)
+		n.linkSeq = make(map[uint64]uint64)
 		n.linkRelease = make(map[proto.NodeID]time.Time)
 	}
 	for id, addr := range cfg.AddrBook {
@@ -539,14 +541,15 @@ func (c *nodeCtx) Send(to proto.NodeID, msg proto.Message) {
 	n.stats.tx(enc.Type(), len(frame))
 	var release time.Time
 	if n.cfg.Shaper != nil {
-		// Netem decision point — the codec boundary: the per-link
-		// sequence number is consumed for every counted message (as the
-		// simulator consumes it), then the message either dies here or
-		// is stamped with its release time, clamped monotone per link
-		// so shaping never reorders a FIFO stream.
-		seq := n.linkSeq[to]
-		n.linkSeq[to] = seq + 1
-		delay, drop := n.cfg.Shaper.Decide(n.cfg.Self, to, seq)
+		// Netem decision point — the codec boundary: the per-(link,
+		// type) sequence number is consumed for every counted message
+		// (as the simulator consumes it), then the message either dies
+		// here or is stamped with its release time, clamped monotone
+		// per link so shaping never reorders a FIFO stream.
+		key := uint64(uint32(to))<<16 | uint64(enc.Type())
+		seq := n.linkSeq[key]
+		n.linkSeq[key] = seq + 1
+		delay, drop := n.cfg.Shaper.Decide(n.cfg.Self, to, enc.Type(), seq)
 		if drop {
 			n.stats.shaperDropped()
 			return
