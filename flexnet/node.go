@@ -12,6 +12,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/node"
 	"repro/internal/proto"
+	"repro/internal/relchan"
 	"repro/internal/transport"
 	"repro/internal/wire"
 
@@ -72,6 +73,7 @@ func NewCodec() *wire.Codec {
 	adaptive.RegisterMessages(c)
 	dcnet.RegisterMessages(c)
 	dandelion.RegisterMessages(c)
+	relchan.RegisterMessages(c)
 	group.RegisterMessages(c)
 	node.RegisterMessages(c)
 	return c

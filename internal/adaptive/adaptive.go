@@ -21,9 +21,11 @@
 package adaptive
 
 import (
+	"encoding/binary"
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/relchan"
 	"repro/internal/visited"
 )
 
@@ -50,6 +52,15 @@ type Config struct {
 	// DeliverLocally controls whether infection reports DeliverLocal
 	// (true for standalone use; the composed protocol also keeps it on).
 	DeliverLocally bool
+	// RetransmitTimeout mounts the reliable overlay channel (relchan)
+	// under the engine: every diffusion message is tracked until the
+	// receiver acks it and retransmitted after this long, up to
+	// RetryBudget times. It must exceed the worst-case network round
+	// trip (data + ack). Zero disables — the unmounted protocol,
+	// byte-for-byte.
+	RetransmitTimeout time.Duration
+	// RetryBudget bounds retransmissions per message.
+	RetryBudget int
 }
 
 // Finisher receives the end-of-diffusion event at each infected node.
@@ -149,7 +160,63 @@ type Engine struct {
 	// pendingToken buffers a token that arrived before the payload (only
 	// possible under exotic latency models; links are FIFO).
 	pendingToken map[proto.MsgID]*TokenMsg
+	// rel is the reliable overlay channel (disabled unless
+	// Config.RetransmitTimeout is set).
+	rel *relchan.Channel
 }
+
+// Reliable-channel kinds tagging which diffusion message an identity
+// names. Within one (message, round) a sender emits at most one message
+// of each kind per directed link, so (MsgID-prefix, round, kind) indexes
+// retransmissions without touching the message encodings.
+const (
+	relKindInfect uint8 = iota + 1
+	relKindExtend
+	relKindToken
+	relKindFinal
+)
+
+func newChannel(cfg *Config) *relchan.Channel {
+	return relchan.New(relchan.Config{
+		RTO:         cfg.RetransmitTimeout,
+		RetryBudget: cfg.RetryBudget,
+	})
+}
+
+// msgIdent derives a message's channel identity from its content — the
+// same bytes both ends see, so sender tracking and receiver acks agree
+// without extra wire fields.
+func msgIdent(msg proto.Message) (relchan.ID, bool) {
+	switch m := msg.(type) {
+	case *InfectMsg:
+		return relIdent(m.ID, m.Round, relKindInfect), true
+	case *ExtendMsg:
+		return relIdent(m.ID, m.Round, relKindExtend), true
+	case *TokenMsg:
+		return relIdent(m.ID, m.Round, relKindToken), true
+	case *FinalMsg:
+		return relIdent(m.ID, m.Round, relKindFinal), true
+	}
+	return relchan.ID{}, false
+}
+
+func relIdent(id proto.MsgID, round uint16, kind uint8) relchan.ID {
+	return relchan.ID{
+		Stream: binary.LittleEndian.Uint64(id[:8]),
+		Seq:    uint32(round),
+		Kind:   kind,
+	}
+}
+
+// send transmits a diffusion message through the reliable channel (a
+// plain Context.Send when the channel is disabled).
+func (e *Engine) send(ctx proto.Context, to proto.NodeID, msg proto.Message) {
+	id, _ := msgIdent(msg)
+	e.rel.Send(ctx, to, msg, id)
+}
+
+// Channel exposes the engine's reliable channel (probes, experiments).
+func (e *Engine) Channel() *relchan.Channel { return e.rel }
 
 // sync drops per-engine leftovers from a previous trial. Dense-mode
 // engines are reused across Shared.Reset generations, and a trial
@@ -162,6 +229,10 @@ func (e *Engine) sync() {
 		e.gen = e.shared.gen
 		clear(e.vs)
 		clear(e.pendingToken)
+		// A fresh channel drops the previous trial's pending/seen maps;
+		// its surviving timers (there are none once the old network is
+		// discarded) would no longer match and be ignored.
+		e.rel = newChannel(&e.cfg)
 	}
 }
 
@@ -177,7 +248,7 @@ func (cfg *Config) applyDefaults() {
 // NewEngine returns a standalone engine with the given configuration.
 func NewEngine(cfg Config) *Engine {
 	cfg.applyDefaults()
-	return &Engine{cfg: cfg}
+	return &Engine{cfg: cfg, rel: newChannel(&cfg)}
 }
 
 // NewEngineAt returns an engine for node self backed by shared dense
@@ -188,7 +259,7 @@ func NewEngineAt(cfg Config, shared *Shared, self proto.NodeID) *Engine {
 		panic("adaptive: NewEngineAt node out of range")
 	}
 	cfg.applyDefaults()
-	return &Engine{cfg: cfg, shared: shared, self: self}
+	return &Engine{cfg: cfg, shared: shared, self: self, rel: newChannel(&cfg)}
 }
 
 // State returns the node's tree state for a message, or nil.
@@ -253,8 +324,8 @@ func (e *Engine) StartSource(ctx proto.Context, id proto.MsgID, payload []byte) 
 		return
 	}
 	v1 := nbs[ctx.Rand().IntN(len(nbs))]
-	ctx.Send(v1, &InfectMsg{ID: id, TTL: 1, Round: 1, Payload: payload})
-	ctx.Send(v1, &TokenMsg{ID: id, Round: 1, H: 1})
+	e.send(ctx, v1, &InfectMsg{ID: id, TTL: 1, Round: 1, Payload: payload})
+	e.send(ctx, v1, &TokenMsg{ID: id, Round: 1, H: 1})
 	st.Children = append(st.Children, v1)
 }
 
@@ -269,7 +340,7 @@ func (e *Engine) StartCenter(ctx proto.Context, id proto.MsgID, payload []byte) 
 	st := e.putState(id, payload, proto.NoNode, 1)
 	e.deliver(ctx, id, payload)
 	for _, nb := range ctx.Neighbors() {
-		ctx.Send(nb, &InfectMsg{ID: id, TTL: 1, Round: 1, Payload: payload})
+		e.send(ctx, nb, &InfectMsg{ID: id, TTL: 1, Round: 1, Payload: payload})
 		st.Children = append(st.Children, nb)
 	}
 	v := &vsState{rho: 1, h: 0, prev: proto.NoNode}
@@ -278,8 +349,29 @@ func (e *Engine) StartCenter(ctx proto.Context, id proto.MsgID, payload []byte) 
 }
 
 // HandleMessage dispatches adaptive-diffusion messages; it reports
-// whether the message was consumed.
+// whether the message was consumed. With the reliable channel mounted,
+// every copy of a diffusion message is acked and retransmitted copies
+// are suppressed before dispatch — handleToken in particular is not
+// idempotent (a replayed token would re-install virtual-source state
+// this node already passed on).
 func (e *Engine) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) bool {
+	switch m := msg.(type) {
+	case *relchan.AckMsg:
+		if !e.rel.Enabled() {
+			return false
+		}
+		e.rel.OnAck(ctx, from, m.ID)
+		return true
+	case *relchan.NackMsg:
+		if !e.rel.Enabled() {
+			return false
+		}
+		e.rel.OnNack(ctx, from, m.ID)
+		return true
+	}
+	if id, ok := msgIdent(msg); ok && e.rel.Receive(ctx, from, id) {
+		return true // retransmitted copy: re-acked above, already processed
+	}
 	switch m := msg.(type) {
 	case *InfectMsg:
 		e.handleInfect(ctx, from, m)
@@ -298,12 +390,11 @@ func (e *Engine) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.M
 // HandleTimer processes virtual-source round timers; it reports whether
 // the payload belonged to this engine.
 func (e *Engine) HandleTimer(ctx proto.Context, payload any) bool {
-	rt, ok := payload.(roundTimer)
-	if !ok {
-		return false
+	if rt, ok := payload.(roundTimer); ok {
+		e.runRound(ctx, rt.id)
+		return true
 	}
-	e.runRound(ctx, rt.id)
-	return true
+	return e.rel.HandleTimer(ctx, payload)
 }
 
 func (e *Engine) deliver(ctx proto.Context, id proto.MsgID, payload []byte) {
@@ -324,7 +415,7 @@ func (e *Engine) handleInfect(ctx proto.Context, from proto.NodeID, m *InfectMsg
 			if nb == from {
 				continue
 			}
-			ctx.Send(nb, out)
+			e.send(ctx, nb, out)
 			st.Children = append(st.Children, nb)
 		}
 	}
@@ -363,7 +454,7 @@ func (e *Engine) extendSubtree(ctx proto.Context, st *State, m *ExtendMsg, from 
 	relays := treeNeighbors(st, from)
 	if len(relays) > 0 {
 		for _, nb := range relays {
-			ctx.Send(nb, m)
+			e.send(ctx, nb, m)
 		}
 		return
 	}
@@ -379,7 +470,7 @@ func (e *Engine) infectOutward(ctx proto.Context, st *State, id proto.MsgID, ttl
 		if nb == st.Parent {
 			continue
 		}
-		ctx.Send(nb, out)
+		e.send(ctx, nb, out)
 		st.Children = append(st.Children, nb)
 	}
 }
@@ -412,7 +503,7 @@ func (e *Engine) handleToken(ctx proto.Context, from proto.NodeID, m *TokenMsg) 
 	if relays := treeNeighbors(st, from); len(relays) > 0 {
 		ext := &ExtendMsg{ID: m.ID, Depth: depth, Round: m.Round}
 		for _, nb := range relays {
-			ctx.Send(nb, ext)
+			e.send(ctx, nb, ext)
 		}
 	} else {
 		e.infectOutward(ctx, st, m.ID, depth, m.Round)
@@ -461,7 +552,7 @@ func (e *Engine) runRound(ctx proto.Context, id proto.MsgID) {
 		// ρ+1 ball; it performs the balancing itself on token receipt.
 		next := candidates[ctx.Rand().IntN(len(candidates))]
 		delete(e.vs, id)
-		ctx.Send(next, &TokenMsg{ID: id, Round: newRound, H: uint16(v.h + 1)})
+		e.send(ctx, next, &TokenMsg{ID: id, Round: newRound, H: uint16(v.h + 1)})
 		return
 	}
 	// Keep (or pass with no eligible neighbor): the ball grows by one
@@ -472,7 +563,7 @@ func (e *Engine) runRound(ctx proto.Context, id proto.MsgID) {
 	if relays := treeNeighbors(st, proto.NoNode); len(relays) > 0 {
 		ext := &ExtendMsg{ID: id, Depth: 1, Round: newRound}
 		for _, nb := range relays {
-			ctx.Send(nb, ext)
+			e.send(ctx, nb, ext)
 		}
 	} else {
 		e.infectOutward(ctx, st, id, 1, newRound)
@@ -496,7 +587,7 @@ func (e *Engine) finalLocal(ctx proto.Context, id proto.MsgID, st *State, from p
 	st.finalDone = true
 	out := &FinalMsg{ID: id, Round: st.lastRound}
 	for _, nb := range treeNeighbors(st, from) {
-		ctx.Send(nb, out)
+		e.send(ctx, nb, out)
 	}
 	if e.cfg.Finisher != nil {
 		e.cfg.Finisher.OnFinal(ctx, id, st)

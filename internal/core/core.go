@@ -30,6 +30,7 @@ import (
 	"repro/internal/dcnet"
 	"repro/internal/flood"
 	"repro/internal/proto"
+	"repro/internal/relchan"
 )
 
 // Config parametrizes one node of the composed protocol.
@@ -151,6 +152,11 @@ type Protocol struct {
 	// failsafe holds payloads this group member recovered in Phase 1
 	// until their fail-safe deadline passes (only under Config.FailSafe).
 	failsafe map[proto.MsgID][]byte
+	// custody holds payloads deposited by group-mates until Phase 1
+	// recovers them or their handoff deadline fires (see custody.go).
+	custody map[proto.MsgID][]byte
+	// rel is the core-owned reliable channel carrying custody deposits.
+	rel *relchan.Channel
 }
 
 // failsafeTimer drives one payload's fail-safe deadline.
@@ -162,6 +168,7 @@ var _ proto.Broadcaster = (*Protocol)(nil)
 func New(cfg Config) (*Protocol, error) {
 	cfg.applyDefaults()
 	p := &Protocol{cfg: cfg, fl: flood.NewEngine()}
+	p.rel = newCustodyChannel(&cfg)
 	p.ad = adaptive.NewEngine(adaptive.Config{
 		D:              cfg.D,
 		RoundInterval:  cfg.ADInterval,
@@ -231,6 +238,22 @@ func (p *Protocol) Diffusion() *adaptive.Engine { return p.ad }
 // Flood exposes the Phase-3 engine (tests, experiments).
 func (p *Protocol) Flood() *flood.Engine { return p.fl }
 
+// RelRetransmits returns retransmissions performed by the node's
+// overlay reliability channels — custody deposits plus the Phase-2
+// engine's, when mounted. Phase-1 DC-net retransmissions are reported
+// separately via Member().Retransmits().
+func (p *Protocol) RelRetransmits() int {
+	return p.rel.Retransmits + p.ad.Channel().Retransmits
+}
+
+// RelNacks returns retransmission requests sent by the overlay
+// channels.
+func (p *Protocol) RelNacks() int { return p.rel.Nacks + p.ad.Channel().Nacks }
+
+// RelHandoffs returns custody payloads this node launched in place of
+// a churned originator.
+func (p *Protocol) RelHandoffs() int { return p.rel.Handoffs }
+
 // recovery reports whether the coverage-first degraded-network
 // behaviors (fail-safe flood, direct injection on dissolve) are on.
 func (p *Protocol) recovery() bool { return p.cfg.FailSafe > 0 }
@@ -253,6 +276,12 @@ func (p *Protocol) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, er
 	}
 	if err := p.member.Queue(payload); err != nil {
 		return proto.MsgID{}, fmt.Errorf("core: queueing broadcast: %w", err)
+	}
+	if p.recovery() {
+		// Fail-safe custody: the queued payload would die with this node
+		// if it churned before winning a data round, so group-mates hold
+		// a copy until Phase 1 demonstrably recovers it (custody.go).
+		p.depositCustody(ctx, id, payload)
 	}
 	return id, nil
 }
@@ -289,6 +318,9 @@ func (p *Protocol) injectDirect(ctx proto.Context, payload []byte) {
 // member once the DC-net recovers a message.
 func (p *Protocol) onGroupMessage(ctx proto.Context, payload []byte) {
 	id := proto.NewMsgID(payload)
+	// Phase 1 recovered the payload: the originator's launch succeeded,
+	// so any custody copy this member holds for it is resolved.
+	delete(p.custody, id)
 	if p.ad.State(id) != nil || p.fl.Seen(id) {
 		return // duplicate recovery (e.g. retransmission after collision)
 	}
@@ -344,7 +376,21 @@ func (p *Protocol) virtualSource(payload []byte) proto.NodeID {
 }
 
 // HandleMessage implements proto.Handler, routing to the three phases.
+// Custody-channel traffic is routed first: the composed node's other
+// channels (the DC-net's, with its own compact acks, and the Phase-2
+// engine's, unmounted here) never carry the generic relchan types.
 func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
+	switch m := msg.(type) {
+	case *relchan.CustodyMsg:
+		p.onCustody(ctx, from, m)
+		return
+	case *relchan.AckMsg:
+		p.rel.OnAck(ctx, from, m.ID)
+		return
+	case *relchan.NackMsg:
+		p.rel.OnNack(ctx, from, m.ID)
+		return
+	}
 	if p.member != nil && p.member.HandleMessage(ctx, from, msg) {
 		return
 	}
@@ -376,6 +422,13 @@ func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto
 func (p *Protocol) HandleTimer(ctx proto.Context, payload any) {
 	if t, ok := payload.(failsafeTimer); ok {
 		p.onFailSafe(ctx, t.id)
+		return
+	}
+	if t, ok := payload.(custodyTimer); ok {
+		p.onCustodyDeadline(ctx, t.id)
+		return
+	}
+	if p.rel.HandleTimer(ctx, payload) {
 		return
 	}
 	if p.member != nil && p.member.HandleTimer(ctx, payload) {

@@ -172,6 +172,94 @@ func TestFailSafeRecoversLostDiffusion(t *testing.T) {
 	}
 }
 
+// TestCustodyRescuesCrashedOriginator pins the one failure Phase-1
+// reliability cannot repair — the originator dying before its queued
+// payload wins a DC data round. Under recovery mode the payload was
+// deposited with every group-mate at Broadcast time, so after the
+// staggered deadline exactly one live custodian must notice the
+// broadcast never surfaced and launch Phase 2 in the originator's
+// stead.
+func TestCustodyRescuesCrashedOriginator(t *testing.T) {
+	g := testGraph(t, 100, 8, 21)
+	group := []proto.NodeID{3, 17, 42, 77, 99}
+	origin := group[0]
+	w := newWorld(t, g, group, 23, recoveryMutate(3, 500*time.Millisecond))
+
+	payload := []byte("custody-rescued tx")
+	id, err := w.net.Originate(origin, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deposits go out inside Broadcast; kill the originator after
+	// they are on the wire but well before the first data round (~100 ms)
+	// could launch the payload.
+	w.net.Engine().Schedule(10*time.Millisecond, func() { w.net.Crash(origin) })
+	w.run(15 * time.Second)
+
+	if got := w.net.Delivered(id); got != g.N()-1 {
+		t.Fatalf("delivered %d/%d; custody handoff did not rescue the broadcast", got, g.N()-1)
+	}
+	handoffs := 0
+	for _, m := range group[1:] {
+		handoffs += w.protos[m].RelHandoffs()
+	}
+	if handoffs != 1 {
+		t.Errorf("%d custodians injected, want exactly 1 (staggered deadlines must elect a single actor)", handoffs)
+	}
+}
+
+// TestCustodySurvivesCustodianChurn overlaps the two failures: a
+// custodian is down when the deposit first goes out, and the originator
+// then dies anyway. The deposit's retry budget must outlast the
+// custodian's outage, so the rescue still happens.
+func TestCustodySurvivesCustodianChurn(t *testing.T) {
+	g := testGraph(t, 100, 8, 25)
+	group := []proto.NodeID{3, 17, 42, 77, 99}
+	origin := group[0]
+	w := newWorld(t, g, group, 27, recoveryMutate(3, 500*time.Millisecond))
+
+	flaky := group[1]
+	w.net.Crash(flaky)
+	payload := []byte("custody vs churn tx")
+	id, err := w.net.Originate(origin, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.net.Engine().Schedule(10*time.Millisecond, func() { w.net.Crash(origin) })
+	// Outage of 300 ms against a 30 ms RTO × 20-retry deposit budget.
+	w.net.Engine().Schedule(300*time.Millisecond, func() { w.net.Restore(flaky) })
+	w.run(15 * time.Second)
+
+	if got := w.net.Delivered(id); got != g.N()-1 {
+		t.Fatalf("delivered %d/%d; custody did not survive the custodian outage", got, g.N()-1)
+	}
+}
+
+// TestCustodyStandsDownOnSuccess pins the silent-resolution path: when
+// the originator lives and the broadcast completes normally, every
+// deposit resolves without a handoff — custody adds no injections to a
+// healthy run.
+func TestCustodyStandsDownOnSuccess(t *testing.T) {
+	g := testGraph(t, 100, 8, 29)
+	group := []proto.NodeID{3, 17, 42, 77, 99}
+	w := newWorld(t, g, group, 31, recoveryMutate(3, 500*time.Millisecond))
+
+	id, err := w.net.Originate(group[0], []byte("healthy custody tx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run(15 * time.Second)
+
+	if got := w.net.Delivered(id); got != g.N() {
+		t.Fatalf("delivered %d/%d", got, g.N())
+	}
+	for _, m := range group {
+		if h := w.protos[m].RelHandoffs(); h != 0 {
+			t.Errorf("member %d injected %d custody handoffs in a healthy run", m, h)
+		}
+	}
+}
+
 func collectDeliveryTimes(w *world, id proto.MsgID) []time.Duration {
 	var out []time.Duration
 	for _, at := range w.net.Deliveries(id).All() {

@@ -12,10 +12,12 @@
 package dandelion
 
 import (
+	"encoding/binary"
 	"time"
 
 	"repro/internal/flood"
 	"repro/internal/proto"
+	"repro/internal/relchan"
 	"repro/internal/wire"
 )
 
@@ -61,6 +63,16 @@ type Config struct {
 	// FailSafe fluffs a stem transaction if its broadcast has not been
 	// observed within this duration (default 30 s; 0 disables).
 	FailSafe time.Duration
+	// RetransmitTimeout mounts the reliable overlay channel (relchan)
+	// under the stem phase: each StemMsg is tracked until the successor
+	// acks it and retransmitted after this long, up to RetryBudget
+	// times. A stem hop is the protocol's single point of failure under
+	// loss — one dropped relay kills the whole broadcast until FailSafe
+	// rescues it — so this is where the ack discipline pays. Zero
+	// disables (the unmounted protocol, byte-for-byte).
+	RetransmitTimeout time.Duration
+	// RetryBudget bounds retransmissions per stem relay.
+	RetryBudget int
 }
 
 func (c *Config) applyDefaults() {
@@ -85,9 +97,23 @@ type Protocol struct {
 	engine    *flood.Engine
 	successor proto.NodeID
 	stempool  map[proto.MsgID][]byte
+	// rel is the reliable overlay channel guarding stem relays
+	// (disabled unless Config.RetransmitTimeout is set).
+	rel *relchan.Channel
 }
 
 var _ proto.Broadcaster = (*Protocol)(nil)
+
+// relKindStem tags a stem relay in the channel identity space.
+const relKindStem uint8 = 1
+
+// stemIdent derives a stem relay's channel identity from the message
+// content both ends see: the transaction's MsgID prefix. A stem edge
+// carries one relay per transaction, so no sequence coordinate is
+// needed.
+func stemIdent(id proto.MsgID) relchan.ID {
+	return relchan.ID{Stream: binary.LittleEndian.Uint64(id[:8]), Kind: relKindStem}
+}
 
 // New returns a Dandelion node protocol.
 func New(cfg Config) *Protocol {
@@ -97,8 +123,15 @@ func New(cfg Config) *Protocol {
 		engine:    flood.NewEngine(),
 		successor: proto.NoNode,
 		stempool:  make(map[proto.MsgID][]byte),
+		rel: relchan.New(relchan.Config{
+			RTO:         cfg.RetransmitTimeout,
+			RetryBudget: cfg.RetryBudget,
+		}),
 	}
 }
+
+// Channel exposes the stem reliability channel (probes, experiments).
+func (p *Protocol) Channel() *relchan.Channel { return p.rel }
 
 // Successor exposes the current stem successor (tests, experiments).
 func (p *Protocol) Successor() proto.NodeID { return p.successor }
@@ -129,14 +162,27 @@ func (p *Protocol) HandleTimer(ctx proto.Context, payload any) {
 		if pl, ok := p.stempool[t.id]; ok && !p.engine.Seen(t.id) {
 			p.fluff(ctx, t.id, pl)
 		}
+	default:
+		p.rel.HandleTimer(ctx, payload)
 	}
 }
 
-// HandleMessage implements proto.Handler.
+// HandleMessage implements proto.Handler. With the channel mounted,
+// every stem copy is acked and a retransmitted copy (same predecessor)
+// is suppressed before the loop check — a genuine stem cycle always
+// re-enters a node from a different predecessor than its original
+// relay, so loop-triggered fluffs still fire.
 func (p *Protocol) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
 	switch m := msg.(type) {
 	case *StemMsg:
+		if p.rel.Receive(ctx, from, stemIdent(m.ID)) {
+			return // retransmitted copy: re-acked, already processed
+		}
 		p.handleStem(ctx, m)
+	case *relchan.AckMsg:
+		p.rel.OnAck(ctx, from, m.ID)
+	case *relchan.NackMsg:
+		p.rel.OnNack(ctx, from, m.ID)
 	case *flood.DataMsg:
 		p.engine.HandleData(ctx, from, m)
 	}
@@ -163,7 +209,7 @@ func (p *Protocol) stemOrFluff(ctx proto.Context, id proto.MsgID, payload []byte
 		p.fluff(ctx, id, payload)
 		return
 	}
-	ctx.Send(p.successor, &StemMsg{ID: id, Payload: payload})
+	p.rel.Send(ctx, p.successor, &StemMsg{ID: id, Payload: payload}, stemIdent(id))
 	if p.cfg.FailSafe > 0 {
 		ctx.SetTimer(p.cfg.FailSafe, failSafeTimer{id: id})
 	}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/proto"
+	"repro/internal/relchan"
 )
 
 // Mode selects the round layout.
@@ -255,8 +256,9 @@ type Member struct {
 	blameRound     uint32 // nonzero while a blame phase is active
 	blamed         map[proto.NodeID]bool
 
-	// Reliability layer: unacked messages awaiting retransmission.
-	pending map[relKey]*relPending
+	// Reliability layer: the reusable ack/retransmit channel, bound to
+	// this package's (round, kind) identity and ack encodings.
+	rel *relchan.Channel
 	// Failover layer: consecutive totally-silent abandoned rounds per
 	// peer, and the membership epoch (bumped on every eviction).
 	missed map[proto.NodeID]int
@@ -268,13 +270,12 @@ type Member struct {
 	// holds them by reference until its own round gc.
 	scratch bufPool
 
-	// Stats, exposed for experiments.
+	// Stats, exposed for experiments. Retransmits/Nacks live on the
+	// channel; see the accessor methods in reliable.go.
 	RoundsCompleted int
 	Collisions      int
 	Delivered       int
 	BlamePhases     int
-	Retransmits     int
-	Nacks           int
 	RoundsAbandoned int
 	Evictions       int
 }
@@ -336,6 +337,7 @@ func NewMember(cfg Config) (*Member, error) {
 		nextKind: initialKind(cfg.Mode),
 		blamed:   make(map[proto.NodeID]bool),
 		missed:   make(map[proto.NodeID]int),
+		rel:      newRelChannel(&cfg),
 	}
 	return m, nil
 }
@@ -386,6 +388,7 @@ func (m *Member) Start(ctx proto.Context) {
 func (m *Member) Stop() {
 	m.stopped = true
 	m.running = false
+	m.rel.Stop()
 }
 
 // Queue submits a payload for anonymous transmission. It will be sent in
@@ -445,11 +448,8 @@ func (m *Member) HandleTimer(ctx proto.Context, payload any) bool {
 			}
 		}
 		return true
-	case relTimer:
-		m.onRelTimer(ctx, t)
-		return true
 	default:
-		return false
+		return m.rel.HandleTimer(ctx, payload)
 	}
 }
 

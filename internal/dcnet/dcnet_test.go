@@ -555,7 +555,7 @@ func TestRetransmitTimeoutStateMachine(t *testing.T) {
 						if h.sendOK[0] != 1 {
 							t.Errorf("sender success = %d, want 1", h.sendOK[0])
 						}
-						if h.members[a].Retransmits == 0 {
+						if h.members[a].Retransmits() == 0 {
 							t.Errorf("dropped %s from %d was never retransmitted", kd.name, a)
 						}
 						for i := 0; i < g; i++ {
@@ -589,11 +589,11 @@ func TestNackPullsRetransmission(t *testing.T) {
 			t.Errorf("member %d delivered %d copies, want 1", i, got)
 		}
 	}
-	if h.members[2].Nacks == 0 {
+	if h.members[2].Nacks() == 0 {
 		t.Error("stalled member sent no nacks")
 	}
-	if h.members[1].Retransmits != 1 {
-		t.Errorf("sender retransmits = %d, want exactly 1 (nack-pulled)", h.members[1].Retransmits)
+	if h.members[1].Retransmits() != 1 {
+		t.Errorf("sender retransmits = %d, want exactly 1 (nack-pulled)", h.members[1].Retransmits())
 	}
 }
 

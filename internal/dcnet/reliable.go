@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"repro/internal/proto"
+	"repro/internal/relchan"
 )
 
 // Reliability layer (loss tolerance). The Fig.-4 round is a barrier on
@@ -12,21 +13,23 @@ import (
 // the round for the whole group — the failure mode E15 exposed at ≥5%
 // loss. When Config.RetransmitTimeout is set, every exchange message
 // (share, S/T-partial, and the blame commitments/reveals) is tracked
-// until the receiver acknowledges it:
+// until the receiver acknowledges it. The tracking itself — per-peer
+// pending maps, RTO retransmission under a bounded budget, nack
+// fast-path — lives in the protocol-agnostic relchan.Channel; this file
+// binds it to the DC-net's message identity and stall detection:
 //
-//   - the receiver acks every received copy (AckMsg) — duplicates
-//     re-ack, because a duplicate means the earlier ack probably died;
-//   - the sender retransmits an unacked message after RetransmitTimeout,
-//     up to RetryBudget times, then gives up (the round then stalls
-//     into the Timeout/abandon path like any other permanent failure);
+//   - a message is identified by (round, kind): each round sends at
+//     most one message of each kind per directed peer pair, so the
+//     existing round plumbing doubles as the retransmission index and
+//     the exchange encodings stay byte-identical to the unreliable
+//     protocol (the channel's stream coordinate is unused — rounds are
+//     already globally ordered);
+//   - the channel is configured with this package's compact AckMsg/
+//     NackMsg constructors, so the ack traffic on the wire is also
+//     byte-identical to the pre-extraction layer;
 //   - a member whose round timer finds the previous round still missing
-//     inputs nacks the owing peers (NackMsg), pulling a retransmission
+//     inputs nacks the owing peers, pulling a retransmission
 //     immediately instead of waiting out the sender's timeout.
-//
-// A message is identified by (round, kind): each round sends at most
-// one message of each kind per directed peer pair, so the existing
-// round plumbing doubles as the retransmission index and the exchange
-// encodings stay byte-identical to the unreliable protocol.
 //
 // Failover (membership layer, §IV-C). With Config.EvictAfter = K > 0 a
 // stalled round is not fatal: when it exceeds Config.Timeout it is
@@ -44,52 +47,45 @@ import (
 // cannot deliver (mismatched share vectors XOR to CRC-garbage, never to
 // a forged message) and heals at the next abandon.
 
-// relKey identifies one reliable message in flight to one peer.
-type relKey struct {
-	peer  proto.NodeID
-	round uint32
-	kind  uint8
+// dcID maps the DC-net's (round, kind) message identity onto the
+// channel's generic coordinates.
+func dcID(round uint32, kind uint8) relchan.ID {
+	return relchan.ID{Seq: round, Kind: kind}
 }
 
-// relPending is the sender-side retransmission state of one message.
-type relPending struct {
-	msg      proto.Message
-	attempts int // retransmissions performed so far
-	timer    proto.TimerID
-}
-
-// relTimer is the retransmit-timeout payload.
-type relTimer struct {
-	peer  proto.NodeID
-	round uint32
-	kind  uint8
+// newRelChannel builds the member's reliable channel, plugging in the
+// DC-net's own compact ack/nack encodings so the wire surface matches
+// the pre-relchan reliability layer byte-for-byte.
+func newRelChannel(cfg *Config) *relchan.Channel {
+	return relchan.New(relchan.Config{
+		RTO:         cfg.RetransmitTimeout,
+		RetryBudget: cfg.RetryBudget,
+		MakeAck: func(id relchan.ID) proto.Message {
+			return &AckMsg{Round: id.Seq, Kind: id.Kind}
+		},
+		MakeNack: func(id relchan.ID) proto.Message {
+			return &NackMsg{Round: id.Seq, Kind: id.Kind}
+		},
+	})
 }
 
 // reliable reports whether the ack/retransmit layer is active.
-func (m *Member) reliable() bool { return m.cfg.RetransmitTimeout > 0 }
+func (m *Member) reliable() bool { return m.rel.Enabled() }
 
 // failover reports whether stalled rounds are abandoned and silent
 // peers evicted instead of the group dissolving on first stall.
 func (m *Member) failover() bool { return m.cfg.EvictAfter > 0 }
 
+// Retransmits returns the number of retransmissions performed.
+func (m *Member) Retransmits() int { return m.rel.Retransmits }
+
+// Nacks returns the number of retransmission requests sent.
+func (m *Member) Nacks() int { return m.rel.Nacks }
+
 // sendReliable transmits msg and, when the reliability layer is on,
 // tracks it for acknowledgement under (round, kind).
 func (m *Member) sendReliable(ctx proto.Context, to proto.NodeID, msg proto.Message, round uint32, kind uint8) {
-	ctx.Send(to, msg)
-	if !m.reliable() {
-		return
-	}
-	key := relKey{peer: to, round: round, kind: kind}
-	if old, ok := m.pending[key]; ok {
-		ctx.CancelTimer(old.timer)
-	}
-	if m.pending == nil {
-		m.pending = make(map[relKey]*relPending)
-	}
-	m.pending[key] = &relPending{
-		msg:   msg,
-		timer: ctx.SetTimer(m.cfg.RetransmitTimeout, relTimer{peer: to, round: round, kind: kind}),
-	}
+	m.rel.Send(ctx, to, msg, dcID(round, kind))
 }
 
 // ackIncoming acknowledges a received reliable message and records the
@@ -97,9 +93,7 @@ func (m *Member) sendReliable(ctx proto.Context, to proto.NodeID, msg proto.Mess
 // any duplicate check: a duplicate means the previous ack was lost.
 func (m *Member) ackIncoming(ctx proto.Context, from proto.NodeID, round uint32, kind uint8) {
 	m.heard(from, round)
-	if m.reliable() {
-		ctx.Send(from, &AckMsg{Round: round, Kind: kind})
-	}
+	m.rel.AckCopy(ctx, from, dcID(round, kind))
 }
 
 // heard marks peer activity for a round without creating round state
@@ -123,11 +117,7 @@ func (m *Member) onAck(ctx proto.Context, from proto.NodeID, msg *AckMsg) {
 		return
 	}
 	m.heard(from, msg.Round)
-	key := relKey{peer: from, round: msg.Round, kind: msg.Kind}
-	if p, ok := m.pending[key]; ok {
-		ctx.CancelTimer(p.timer)
-		delete(m.pending, key)
-	}
+	m.rel.OnAck(ctx, from, dcID(msg.Round, msg.Kind))
 }
 
 func (m *Member) onNack(ctx proto.Context, from proto.NodeID, msg *NackMsg) {
@@ -135,40 +125,7 @@ func (m *Member) onNack(ctx proto.Context, from proto.NodeID, msg *NackMsg) {
 		return
 	}
 	m.heard(from, msg.Round)
-	key := relKey{peer: from, round: msg.Round, kind: msg.Kind}
-	p, ok := m.pending[key]
-	if !ok || p.attempts >= m.cfg.RetryBudget {
-		return
-	}
-	ctx.CancelTimer(p.timer)
-	m.retransmit(ctx, key, p)
-}
-
-// onRelTimer handles one retransmit timeout.
-func (m *Member) onRelTimer(ctx proto.Context, t relTimer) {
-	if m.stopped {
-		return
-	}
-	key := relKey{peer: t.peer, round: t.round, kind: t.kind}
-	p, ok := m.pending[key]
-	if !ok {
-		return
-	}
-	if p.attempts >= m.cfg.RetryBudget {
-		// Budget exhausted: give up on this copy. The round either
-		// recovers through the peer's nack or stalls into the
-		// Timeout/abandon machinery.
-		delete(m.pending, key)
-		return
-	}
-	m.retransmit(ctx, key, p)
-}
-
-func (m *Member) retransmit(ctx proto.Context, key relKey, p *relPending) {
-	p.attempts++
-	m.Retransmits++
-	ctx.Send(key.peer, p.msg)
-	p.timer = ctx.SetTimer(m.cfg.RetransmitTimeout, relTimer{peer: key.peer, round: key.round, kind: key.kind})
+	m.rel.OnNack(ctx, from, dcID(msg.Round, msg.Kind))
 }
 
 // nackMissing asks the owing peers for the inputs a stalled round still
@@ -181,21 +138,20 @@ func (m *Member) nackMissing(ctx proto.Context, rs *roundState) {
 	if !m.reliable() || rs.complete {
 		return
 	}
-	m.Nacks++
 	for _, p := range m.peers {
 		if _, ok := rs.gotShares[p]; !ok {
-			ctx.Send(p, &NackMsg{Round: rs.number, Kind: KindShare})
+			m.rel.SendNack(ctx, p, dcID(rs.number, KindShare))
 			continue
 		}
 		if rs.sSent {
 			if _, ok := rs.gotSPart[p]; !ok {
-				ctx.Send(p, &NackMsg{Round: rs.number, Kind: KindSPartial})
+				m.rel.SendNack(ctx, p, dcID(rs.number, KindSPartial))
 				continue
 			}
 		}
 		if rs.tSent {
 			if _, ok := rs.gotTPart[p]; !ok {
-				ctx.Send(p, &NackMsg{Round: rs.number, Kind: KindTPartial})
+				m.rel.SendNack(ctx, p, dcID(rs.number, KindTPartial))
 			}
 		}
 	}
@@ -203,22 +159,9 @@ func (m *Member) nackMissing(ctx proto.Context, rs *roundState) {
 
 // dropRoundPending cancels retransmission state for one round.
 func (m *Member) dropRoundPending(ctx proto.Context, round uint32) {
-	for key, p := range m.pending {
-		if key.round == round {
-			ctx.CancelTimer(p.timer)
-			delete(m.pending, key)
-		}
-	}
-}
-
-// dropPeerPending cancels retransmission state toward one peer.
-func (m *Member) dropPeerPending(ctx proto.Context, peer proto.NodeID) {
-	for key, p := range m.pending {
-		if key.peer == peer {
-			ctx.CancelTimer(p.timer)
-			delete(m.pending, key)
-		}
-	}
+	m.rel.DropWhere(ctx, func(_ proto.NodeID, id relchan.ID) bool {
+		return id.Seq == round
+	})
 }
 
 // abandonRound gives up on a stalled round under failover: silence is
@@ -284,7 +227,7 @@ func (m *Member) evict(ctx proto.Context, p proto.NodeID) {
 		m.peers = slices.Delete(m.peers, i, i+1)
 	}
 	delete(m.missed, p)
-	m.dropPeerPending(ctx, p)
+	m.rel.DropPeer(ctx, p)
 	m.epoch++
 	m.Evictions++
 

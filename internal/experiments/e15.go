@@ -52,7 +52,38 @@ type e15Sample struct {
 	delivered  int
 	msgs       int64
 	drops      int64
+	retx       int
+	nacks      int
+	handoffs   int
 	deliveries []time.Duration
+}
+
+// e15RelStats sums a trial's reliability-layer counters across every
+// handler that mounts a channel: the DC-net member's Phase-1
+// ack/retransmit plus the overlay channels (custody deposits, and the
+// diffusion or stem surfaces when a protocol mounts them).
+func e15RelStats(handlers []proto.Handler) (retx, nacks, handoffs int) {
+	for _, h := range handlers {
+		switch v := h.(type) {
+		case *core.Protocol:
+			retx += v.RelRetransmits()
+			nacks += v.RelNacks()
+			handoffs += v.RelHandoffs()
+			if m := v.Member(); m != nil {
+				retx += m.Retransmits()
+				nacks += m.Nacks()
+			}
+		case *adaptive.Protocol:
+			ch := v.Engine().Channel()
+			retx += ch.Retransmits
+			nacks += ch.Nacks
+		case *dandelion.Protocol:
+			ch := v.Channel()
+			retx += ch.Retransmits
+			nacks += ch.Nacks
+		}
+	}
+	return
 }
 
 // E15Robustness opens the degraded-network scenario axis none of
@@ -91,7 +122,7 @@ func E15Robustness(sc Scenario) *metrics.Table {
 	}
 	t := metrics.NewTable(
 		fmt.Sprintf("E15 — robustness under loss and churn (N=%d, %d-regular; 50ms+jitter links; composed runs loss-tolerant)", n, deg),
-		"protocol", "conditions", "trials", "coverage", "p50", "p95", "msgs/node", "drops/node",
+		"protocol", "conditions", "trials", "coverage", "p50", "p95", "msgs/node", "drops/node", "retx", "nacks", "handoffs",
 	)
 
 	hashes := core.SimHashes(n)
@@ -174,17 +205,26 @@ func E15Robustness(sc Scenario) *metrics.Table {
 			samples := runner.Map(nTrials, sc.Par, func(trial int) e15Sample {
 				seed := uint64(trial + 1)
 				net := sim.NewNetwork(pc.topo(seed), sim.Options{Seed: seed, Netem: &cond})
-				net.SetHandlers(pc.handler)
+				handlers := make([]proto.Handler, n)
+				net.SetHandlers(func(id proto.NodeID) proto.Handler {
+					h := pc.handler(id)
+					handlers[id] = h
+					return h
+				})
 				net.Start()
 				id, err := net.Originate(0, []byte{byte(trial), 0x15})
 				if err != nil {
 					panic(err)
 				}
 				net.RunUntil(e15Horizon)
+				retx, nacks, handoffs := e15RelStats(handlers)
 				s := e15Sample{
 					delivered: net.Delivered(id),
 					msgs:      net.TotalMessages(),
 					drops:     net.NetemDropped(),
+					retx:      retx,
+					nacks:     nacks,
+					handoffs:  handoffs,
 				}
 				for _, at := range net.Deliveries(id).All() {
 					s.deliveries = append(s.deliveries, at)
@@ -194,11 +234,15 @@ func E15Robustness(sc Scenario) *metrics.Table {
 
 			coverage := metrics.NewSummary()
 			var msgs, drops int64
+			var retx, nacks, handoffs int
 			var pooled []time.Duration
 			for _, s := range samples {
 				coverage.Add(float64(s.delivered) / float64(n) * 100)
 				msgs += s.msgs
 				drops += s.drops
+				retx += s.retx
+				nacks += s.nacks
+				handoffs += s.handoffs
 				pooled = append(pooled, s.deliveries...)
 			}
 			sort.Slice(pooled, func(i, j int) bool { return pooled[i] < pooled[j] })
@@ -208,12 +252,17 @@ func E15Robustness(sc Scenario) *metrics.Table {
 				fmtDuration(metrics.DurationQuantile(pooled, 0.95)),
 				float64(msgs)/float64(int64(nTrials)*int64(n)),
 				float64(drops)/float64(int64(nTrials)*int64(n)),
+				float64(retx)/float64(nTrials),
+				float64(nacks)/float64(nTrials),
+				float64(handoffs)/float64(nTrials),
 			)
 		}
 	}
 	t.AddNote("links: 50ms const + U(0,20ms) jitter; loss = per-link message drop rate; churn = fraction crashing 2s mid-run")
 	t.AddNote("adaptive covers only its diffusion ball by design; dandelion's fail-safe re-broadcast buys its loss resilience")
-	t.AddNote("composed runs the reliability layer (dcnet ack/retransmit + group failover + fail-safe); before it, one lost")
-	t.AddNote("share stalled Phase 1 under PolicyNone — coverage was 32%% at 2%% loss, 0%% at 5-10%% loss and at 20%% churn")
+	t.AddNote("composed runs the reliability layer (dcnet ack/retransmit + group failover + fail-safe + custody); before it,")
+	t.AddNote("one lost share stalled Phase 1 under PolicyNone — coverage was 32%% at 2%% loss, 0%% at 5-10%% loss and churn")
+	t.AddNote("retx/nacks/handoffs: per-trial reliability-channel totals; a handoff is a custodian launching Phase 2 for a")
+	t.AddNote("churned originator — the repair that lifted loss5+churn20 composed coverage from ~55%% to full")
 	return t
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/proto"
+	"repro/internal/relchan"
 )
 
 // WireType names one protocol message type for table rendering: the
@@ -27,6 +28,7 @@ const (
 	PhaseAdaptive = "phase 2: adaptive diffusion"
 	PhaseFlood    = "phase 3: flood-and-prune"
 	PhaseStem     = "dandelion stem"
+	PhaseRelChan  = "reliable channel"
 	PhaseChain    = "blockchain"
 )
 
@@ -46,6 +48,9 @@ var wireTypes = []WireType{
 	{dcnet.TypeNack, "dcnet/nack", PhaseDCNet},
 	{dandelion.TypeStem, "dandelion/stem", PhaseStem},
 	{node.TypeBlock, "chain/block", PhaseChain},
+	{relchan.TypeAck, "relchan/ack", PhaseRelChan},
+	{relchan.TypeNack, "relchan/nack", PhaseRelChan},
+	{relchan.TypeCustody, "relchan/custody", PhaseRelChan},
 }
 
 // WireTypes returns the canonical message-type index in ascending type

@@ -195,6 +195,17 @@ type Probe struct {
 	DCEvictions int
 	// DCRetransmits counts reliability-layer retransmissions sent.
 	DCRetransmits int
+	// RelRetransmits counts retransmissions by the node's overlay
+	// reliability channels (custody deposits, the Phase-2 diffusion
+	// surface when mounted); Phase-1 DC-net retransmissions are
+	// DCRetransmits.
+	RelRetransmits int
+	// RelNacks counts retransmission requests sent by this node's
+	// reliable channels.
+	RelNacks int
+	// RelHandoffs counts custody payloads this node launched into
+	// Phase 2 on behalf of an absent originator.
+	RelHandoffs int
 }
 
 // Probe snapshots the node's progress. It must run on the node's event
@@ -207,8 +218,11 @@ func (n *Node) Probe() Probe {
 		p.DCStopped = m.Stopped()
 		p.DCGroupSize = m.GroupSize()
 		p.DCEvictions = m.Evictions
-		p.DCRetransmits = m.Retransmits
+		p.DCRetransmits = m.Retransmits()
 	}
+	p.RelRetransmits = n.protocol.RelRetransmits()
+	p.RelNacks = n.protocol.RelNacks()
+	p.RelHandoffs = n.protocol.RelHandoffs()
 	return p
 }
 

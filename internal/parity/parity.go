@@ -47,6 +47,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/node"
 	"repro/internal/proto"
+	"repro/internal/relchan"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -146,17 +147,20 @@ type Scenario struct {
 	ADInterval time.Duration
 	// Q is Dandelion's per-hop fluff probability (default 0.25).
 	Q float64
-	// Reliable enables the composed stack's loss-tolerance layer:
-	// DC-net ack/retransmit (RTO reliableRTO, budget 3) plus the
-	// group-member flood fail-safe (FailSafe). It is what makes a lossy
-	// composed scenario *legal*: retransmission decisions are pure
-	// functions of the seeded drop pattern (see the package comment),
-	// so the two runtimes retransmit — and count — identically.
+	// Reliable mounts the variant's loss-tolerance layer — the same
+	// relchan ack/retransmit discipline (RTO reliableRTO, budget 3) for
+	// every stack: the DC-net exchange plus group fail-safe and custody
+	// handoff for composed, the infect/extend/token/final surface for
+	// adaptive, the stem relay for dandelion. (Flood needs none: its
+	// counts are arrival-order independent by construction.) It is what
+	// makes a lossy non-flood scenario *legal*: retransmission decisions
+	// are pure functions of the seeded drop pattern (see the package
+	// comment), so the two runtimes retransmit — and count — identically.
 	Reliable bool
 	// FailSafe is the fail-safe deadline armed at each group member on
-	// Phase-1 recovery (default 2 s when Reliable; it must comfortably
-	// exceed the healthy run's full Phase 2+3 span, so that "flood
-	// arrived by the deadline" is unambiguous on both runtimes).
+	// Phase-1 recovery (default 2 s for reliable composed runs; it must
+	// comfortably exceed the healthy run's full Phase 2+3 span, so that
+	// "flood arrived by the deadline" is unambiguous on both runtimes).
 	FailSafe time.Duration
 
 	// Netem applies one network-condition profile to both runs: the sim
@@ -232,7 +236,7 @@ func (sc *Scenario) applyDefaults() {
 	if sc.Q == 0 {
 		sc.Q = 0.25
 	}
-	if sc.Reliable && sc.FailSafe <= 0 {
+	if sc.Reliable && sc.Variant == VariantComposed && sc.FailSafe <= 0 {
 		sc.FailSafe = 2 * time.Second
 	}
 	if sc.Timeout <= 0 {
@@ -294,13 +298,13 @@ func (sc *Scenario) validate() error {
 			// Flood counts are arrival-order independent under per-link
 			// seeded drops: each directed link carries at most one data
 			// message.
-		case sc.Variant == VariantComposed && sc.Reliable:
-			// The reliability layer restores exact comparability for the
-			// composed stack: per-(link, type) drop streams make every
-			// loss — and therefore every retransmission — the same pure
-			// function of the seed on both runtimes.
+		case sc.Reliable:
+			// The mounted reliability channel restores exact comparability
+			// for every other variant: per-(link, type) drop streams make
+			// each loss — and therefore each ack, nack, and retransmission
+			// — the same pure function of the seed on both runtimes.
 		default:
-			return fmt.Errorf("parity: loss profiles require the flood variant or the reliable composed stack (Scenario.Reliable)")
+			return fmt.Errorf("parity: lossy %v runs require Scenario.Reliable — without the ack discipline a dropped message silently changes the protocol's trajectory on exactly one runtime (still rejected even with Reliable: churn profiles, which are simulator-only)", sc.Variant)
 		}
 	}
 	return nil
@@ -348,6 +352,7 @@ func newCodec() *wire.Codec {
 	adaptive.RegisterMessages(c)
 	dcnet.RegisterMessages(c)
 	dandelion.RegisterMessages(c)
+	relchan.RegisterMessages(c)
 	group.RegisterMessages(c)
 	node.RegisterMessages(c)
 	return c
@@ -361,17 +366,27 @@ func (sc *Scenario) handler(id proto.NodeID, hashes map[proto.NodeID][32]byte) p
 	case VariantFlood:
 		return flood.New()
 	case VariantAdaptive:
-		return adaptive.New(adaptive.Config{
+		cfg := adaptive.Config{
 			D:             sc.D,
 			RoundInterval: sc.ADInterval,
 			TreeDegree:    sc.treeDegree(),
-		})
+		}
+		if sc.Reliable {
+			cfg.RetransmitTimeout = reliableRTO
+			cfg.RetryBudget = 3
+		}
+		return adaptive.New(cfg)
 	case VariantDandelion:
 		// Epoch is set beyond any run horizon so the successor graph is
 		// drawn exactly once (at Init) under both runtimes; the fail-safe
 		// stays off because virtual time reaches it in the simulator
 		// while wall-clock runs end long before it.
-		return dandelion.New(dandelion.Config{Q: sc.Q, Epoch: time.Hour, FailSafe: 0})
+		cfg := dandelion.Config{Q: sc.Q, Epoch: time.Hour, FailSafe: 0}
+		if sc.Reliable {
+			cfg.RetransmitTimeout = reliableRTO
+			cfg.RetryBudget = 3
+		}
+		return dandelion.New(cfg)
 	default:
 		cfg := node.Config{Core: core.Config{
 			K: sc.K, D: sc.D,

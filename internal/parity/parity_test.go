@@ -11,6 +11,7 @@ import (
 	"repro/internal/flood"
 	"repro/internal/netem"
 	"repro/internal/proto"
+	"repro/internal/relchan"
 )
 
 // runScenario executes one differential run and fails the test on any
@@ -168,27 +169,40 @@ func TestParityShapedMemNet(t *testing.T) {
 
 // TestShapedScenarioValidation pins the shaped-run guard rails: churn
 // profiles and lossy scenarios the harness cannot compare exactly must
-// be rejected up front — and the reliable composed stack, whose
-// retransmissions are a pure function of the seeded drops, must not be.
+// be rejected up front — and any variant with the reliability channel
+// mounted, whose retransmissions are a pure function of the seeded
+// drops, must not be.
 func TestShapedScenarioValidation(t *testing.T) {
 	churny := netem.Churny
 	if _, err := Run(Scenario{Variant: VariantFlood, N: 8, Netem: &churny}); err == nil {
 		t.Error("churn profile accepted by the parity harness")
 	}
 	lossy := netem.Lossy
-	if _, err := Run(Scenario{Variant: VariantComposed, N: 8, Netem: &lossy}); err == nil {
-		t.Error("lossy composed scenario without the reliability layer accepted (counts are arrival-order dependent)")
+	// The churn carve-out is absolute: Reliable does not legalize it.
+	if _, err := Run(Scenario{Variant: VariantComposed, N: 8, Netem: &churny, Reliable: true}); err == nil {
+		t.Error("churn profile accepted with Reliable set (churn is simulator-only)")
 	}
-	if _, err := Run(Scenario{Variant: VariantAdaptive, N: 8, Netem: &lossy}); err == nil {
-		t.Error("lossy adaptive scenario accepted (no reliability layer exists for it)")
+	for _, v := range []Variant{VariantComposed, VariantAdaptive, VariantDandelion} {
+		if _, err := Run(Scenario{Variant: v, N: 8, Netem: &lossy}); err == nil {
+			t.Errorf("lossy %v scenario without the reliability layer accepted (counts are arrival-order dependent)", v)
+		}
+		ok := Scenario{Variant: v, N: 8, Netem: &lossy, Reliable: true}
+		ok.applyDefaults()
+		if err := ok.validate(); err != nil {
+			t.Errorf("reliable lossy %v scenario rejected: %v", v, err)
+		}
 	}
 	ok := Scenario{Variant: VariantComposed, N: 8, Netem: &lossy, Reliable: true}
 	ok.applyDefaults()
-	if err := ok.validate(); err != nil {
-		t.Errorf("reliable lossy composed scenario rejected: %v", err)
-	}
 	if ok.FailSafe <= 0 {
-		t.Error("reliable scenario defaulted without a fail-safe deadline")
+		t.Error("reliable composed scenario defaulted without a fail-safe deadline")
+	}
+	// FailSafe is a composed-stack knob; defaulting it for the other
+	// variants would only widen their settle windows for nothing.
+	ad := Scenario{Variant: VariantAdaptive, N: 8, Netem: &lossy, Reliable: true}
+	ad.applyDefaults()
+	if ad.FailSafe != 0 {
+		t.Errorf("reliable adaptive scenario grew a fail-safe deadline %v (composed-only knob)", ad.FailSafe)
 	}
 }
 
@@ -246,6 +260,85 @@ func TestParityShapedComposed(t *testing.T) {
 	}
 	if rep.Dist == nil || !rep.DistOK {
 		t.Errorf("delivery-time distribution missing or outside tolerance: %v", rep.Dist)
+	}
+}
+
+// TestParityShapedAdaptive extends shaped-parity exactness to adaptive
+// diffusion alone: the token walk and extend waves run over a 5%-loss,
+// jittered MemNet with the relchan ack discipline mounted, and every
+// per-type count — data, acks, nacks, retransmissions — matches the
+// simulator exactly. The round interval is stretched so no k·RTO
+// retransmission instant can coincide with a round-timer tick (an
+// event-order tie the two runtimes may break differently).
+func TestParityShapedAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run; skipped with -short")
+	}
+	profile := netem.Profile{
+		Name:    "shaped-adaptive-test",
+		Latency: netem.Const(15 * time.Millisecond),
+		Jitter:  netem.Uniform{Hi: 10 * time.Millisecond},
+		Loss:    0.05,
+	}
+	rep := runScenario(t, Scenario{
+		Variant:       VariantAdaptive,
+		Transport:     TransportMem,
+		N:             64,
+		Source:        20,
+		Netem:         &profile,
+		Reliable:      true,
+		ADInterval:    250 * time.Millisecond,
+		WallTolerance: 60,
+	})
+	if rep.Sim.NetemDropped == 0 || rep.Real.NetemDropped == 0 {
+		t.Errorf("shaped adaptive run shed no messages (sim %d, real %d) — loss profile not exercised",
+			rep.Sim.NetemDropped, rep.Real.NetemDropped)
+	}
+	if rep.Sim.Msgs[relchan.TypeAck] == 0 {
+		t.Error("reliable adaptive run sent no acks — reliability channel inactive")
+	}
+	if rep.Sim.Delivered == 0 {
+		t.Error("shaped adaptive run delivered nothing")
+	}
+}
+
+// TestParityShapedDandelion does the same for the stem/fluff baseline:
+// a stem hop is the protocol's single point of failure under loss, so
+// the mounted channel is what keeps a 5%-loss run both alive and
+// exactly comparable — stem retransmissions included.
+func TestParityShapedDandelion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run; skipped with -short")
+	}
+	profile := netem.Profile{
+		Name:    "shaped-dandelion-test",
+		Latency: netem.Const(15 * time.Millisecond),
+		Jitter:  netem.Uniform{Hi: 10 * time.Millisecond},
+		Loss:    0.05,
+	}
+	rep := runScenario(t, Scenario{
+		Variant:       VariantDandelion,
+		Transport:     TransportMem,
+		N:             48,
+		Degree:        8,
+		Source:        7,
+		Seed:          9,
+		Netem:         &profile,
+		Reliable:      true,
+		WallTolerance: 60,
+	})
+	if rep.Sim.NetemDropped == 0 || rep.Real.NetemDropped == 0 {
+		t.Errorf("shaped dandelion run shed no messages (sim %d, real %d) — loss profile not exercised",
+			rep.Sim.NetemDropped, rep.Real.NetemDropped)
+	}
+	if rep.Sim.Msgs[dandelion.TypeStem] == 0 {
+		t.Error("shaped dandelion run sent no stem messages")
+	}
+	if rep.Sim.Msgs[relchan.TypeAck] == 0 {
+		t.Error("reliable dandelion run sent no acks — reliability channel inactive")
+	}
+	if rep.Sim.Delivered == 0 {
+		t.Error("shaped dandelion run delivered nothing")
 	}
 }
 

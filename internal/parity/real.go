@@ -272,6 +272,14 @@ func (c *cluster) settlePolls() int {
 			gap = hold
 		}
 	}
+	if c.sc.Reliable {
+		// A pending message can sit silent for a full RTO before its
+		// retransmission (and its ack) hit the wire again; out-wait the
+		// whole retry round trip so a quiet channel is a drained one.
+		if hold := 2*reliableRTO + 2*maxDelay; hold > gap {
+			gap = hold
+		}
+	}
 	if c.sc.Reliable && c.sc.FailSafe > 0 {
 		// A reliable composed run can go completely quiet between the
 		// last Phase-3 message and the group members' fail-safe

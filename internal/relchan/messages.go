@@ -1,0 +1,111 @@
+package relchan
+
+import (
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Wire types of the generic channel messages. Protocols that predate the
+// channel (the DC-net) keep their own compact ack/nack encodings via
+// Config.MakeAck/MakeNack; protocols mounting the channel fresh
+// (adaptive diffusion, Dandelion stems, core custody) use these.
+const (
+	// TypeAck confirms receipt of one reliable message.
+	TypeAck = proto.RangeRelChan + 1
+	// TypeNack requests retransmission of one missing message.
+	TypeNack = proto.RangeRelChan + 2
+	// TypeCustody deposits an un-launched broadcast payload with a
+	// group-mate so it survives the depositor churning mid-protocol.
+	TypeCustody = proto.RangeRelChan + 3
+)
+
+// encodeID appends the (stream, seq, kind) identity.
+func encodeID(w *wire.Writer, id ID) {
+	w.U64(id.Stream)
+	w.U32(id.Seq)
+	w.U8(id.Kind)
+}
+
+// decodeID parses the (stream, seq, kind) identity.
+func decodeID(r *wire.Reader) ID {
+	return ID{Stream: r.U64(), Seq: r.U32(), Kind: r.U8()}
+}
+
+// AckMsg confirms receipt of the message named by ID. Sent for every
+// received copy — a duplicate receipt means the earlier ack was probably
+// lost. Acks are themselves unreliable; a lost ack merely costs one
+// retransmission.
+type AckMsg struct {
+	ID ID
+}
+
+// Type implements proto.Message.
+func (*AckMsg) Type() proto.MsgType { return TypeAck }
+
+// EncodeTo implements wire.Encodable.
+func (m *AckMsg) EncodeTo(w *wire.Writer) { encodeID(w, m.ID) }
+
+// DecodeFrom implements wire.Encodable.
+func (m *AckMsg) DecodeFrom(r *wire.Reader) error {
+	m.ID = decodeID(r)
+	return r.Err()
+}
+
+// NackMsg asks the receiver to retransmit its message named by ID — the
+// fast-path recovery a stalled handler pulls instead of waiting out the
+// sender's retransmit timeout.
+type NackMsg struct {
+	ID ID
+}
+
+// Type implements proto.Message.
+func (*NackMsg) Type() proto.MsgType { return TypeNack }
+
+// EncodeTo implements wire.Encodable.
+func (m *NackMsg) EncodeTo(w *wire.Writer) { encodeID(w, m.ID) }
+
+// DecodeFrom implements wire.Encodable.
+func (m *NackMsg) DecodeFrom(r *wire.Reader) error {
+	m.ID = decodeID(r)
+	return r.Err()
+}
+
+// CustodyMsg hands a not-yet-launched broadcast payload to a group-mate.
+// The custodian stores it and launches it itself if the depositor churns
+// before Phase 1 completes (Dandelion++-style fail-safe custody). ID
+// names the payload (stream = first 8 bytes of its MsgID), so the
+// custodian can tell whether the broadcast eventually surfaced.
+type CustodyMsg struct {
+	ID      ID
+	Payload []byte
+}
+
+// Type implements proto.Message.
+func (*CustodyMsg) Type() proto.MsgType { return TypeCustody }
+
+// EncodeTo implements wire.Encodable.
+func (m *CustodyMsg) EncodeTo(w *wire.Writer) {
+	encodeID(w, m.ID)
+	w.ByteString(m.Payload)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *CustodyMsg) DecodeFrom(r *wire.Reader) error {
+	m.ID = decodeID(r)
+	m.Payload = r.ByteString()
+	return r.Err()
+}
+
+// RegisterMessages adds this package's messages to a codec.
+func RegisterMessages(c *wire.Codec) {
+	c.Register(TypeAck, func() wire.Encodable { return new(AckMsg) })
+	c.Register(TypeNack, func() wire.Encodable { return new(NackMsg) })
+	c.Register(TypeCustody, func() wire.Encodable { return new(CustodyMsg) })
+}
+
+// Compile-time interface checks.
+var (
+	_ wire.Encodable = (*AckMsg)(nil)
+	_ wire.Encodable = (*NackMsg)(nil)
+	_ wire.Encodable = (*CustodyMsg)(nil)
+)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/flood"
 	"repro/internal/group"
 	"repro/internal/node"
+	"repro/internal/relchan"
 	"repro/internal/wire"
 )
 
@@ -23,6 +24,7 @@ func fuzzCodec() *wire.Codec {
 	adaptive.RegisterMessages(c)
 	dcnet.RegisterMessages(c)
 	dandelion.RegisterMessages(c)
+	relchan.RegisterMessages(c)
 	group.RegisterMessages(c)
 	node.RegisterMessages(c)
 	return c
