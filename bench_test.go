@@ -11,12 +11,18 @@
 package repro
 
 import (
+	"math/rand/v2"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/flood"
 	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // cell parses a numeric table cell; non-numeric cells yield NaN-safe 0.
@@ -173,6 +179,45 @@ func BenchmarkE14ScaleSweep(b *testing.B) {
 		b.ReportMetric(cell(t, last, 3), "adaptive-msgs@nmax")
 		b.ReportMetric(cell(t, last-1, 3), "flood-msgs@nmax")
 	})
+}
+
+// BenchmarkE14Flood1M runs E14's largest cell in isolation — one
+// N=1,000,000 flood broadcast to full coverage on the 8-regular WAN
+// overlay, event loop split across 8 shards — and reports the
+// events/s-per-core headline the E14 table carries. On a single-core
+// host the 8 shards time-slice one CPU, so events/s/core here is the
+// honest per-core throughput; the graph is built once outside the timer.
+func BenchmarkE14Flood1M(b *testing.B) {
+	g, err := topology.RandomRegular(1_000_000, 8, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const shards = 8
+	net := sim.NewNetwork(g, sim.Options{Seed: 1, Latency: sim.ConstLatency(50 * time.Millisecond), Shards: shards})
+	shared := flood.NewShared(g.N())
+	shared.Partition(shards)
+	handlers := make([]proto.Handler, g.N())
+	for i := range handlers {
+		handlers[i] = flood.NewAt(shared, proto.NodeID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		net.Reset(uint64(i + 1))
+		shared.Reset()
+		net.SetHandlers(func(id proto.NodeID) proto.Handler { return handlers[id] })
+		net.Start()
+		if _, err := net.Originate(0, []byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+		net.Run(0)
+		steps += net.Steps()
+	}
+	b.StopTimer()
+	perCore := float64(steps) / b.Elapsed().Seconds() / float64(net.ShardCount()) / 1e6
+	b.ReportMetric(perCore, "Mevents/s/core")
+	b.ReportMetric(float64(net.ShardCount()), "shards")
 }
 
 // BenchmarkE15Robustness runs the netem sweep (quick mode: 2 trials per

@@ -10,15 +10,28 @@
 // conditions with a named internal/netem preset or spec (latency
 // distribution, jitter, loss, churn).
 //
+// -shards additionally splits each trial's event loop across K
+// conservatively synchronized shards on the experiments that support
+// in-run parallelism (e1, e14); tables stay bit-identical at any shard
+// count. When -par is left at its default, the cores split between the
+// two axes: par = max(1, GOMAXPROCS/shards). -v prints per-shard event
+// counts and lookahead stalls, and -cpuprofile/-memprofile/-trace
+// capture pprof/trace artifacts of the whole run.
+//
 // Usage:
 //
-//	flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] [-netem PROFILE] <experiment|all|list>
+//	flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P]
+//	        [-shards K] [-v] [-netem PROFILE]
+//	        [-cpuprofile F] [-memprofile F] [-trace F] <experiment|all|list>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro/internal/experiments"
@@ -37,11 +50,16 @@ func run() int {
 	n := flag.Int("n", 0, "override overlay size on network-scale experiments (0: paper default)")
 	degree := flag.Int("degree", 0, "override overlay degree (0: paper default)")
 	trials := flag.Int("trials", 0, "override trial count (0: mode default)")
-	par := flag.Int("par", 0, "trial worker-pool size (0: GOMAXPROCS, 1: sequential)")
+	par := flag.Int("par", 0, "trial worker-pool size (0: GOMAXPROCS split across -shards, 1: sequential)")
+	shards := flag.Int("shards", 0, "per-trial event-loop shards on sharding-aware experiments (0/1: single loop)")
+	verbose := flag.Bool("v", false, "print per-shard event counts and lookahead stalls to stderr")
 	netemSpec := flag.String("netem", "", "network-condition profile override: preset or spec, e.g. wan, lossy, \"lat=20ms,jitter=10ms,loss=0.05\"")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	exps := experiments.All()
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] [-netem PROFILE] <experiment|all|list>\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] [-shards K] [-v] [-netem PROFILE] [-cpuprofile F] [-memprofile F] [-trace F] <experiment|all|list>\n\nexperiments:\n")
 		for _, e := range exps {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
 		}
@@ -52,7 +70,16 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
-	sc := experiments.Scenario{Quick: *quick, N: *n, Degree: *degree, Trials: *trials, Par: *par}
+	sc := experiments.Scenario{Quick: *quick, N: *n, Degree: *degree, Trials: *trials, Par: *par, Shards: *shards, Verbose: *verbose}
+	if sc.Par == 0 && sc.Shards > 1 {
+		// Split the cores between the two parallelism axes: K shard
+		// goroutines per trial leave GOMAXPROCS/K slots for concurrent
+		// trials.
+		sc.Par = runtime.GOMAXPROCS(0) / sc.Shards
+		if sc.Par < 1 {
+			sc.Par = 1
+		}
+	}
 	if *netemSpec != "" {
 		p, err := netem.ParseProfile(*netemSpec)
 		if err != nil {
@@ -60,6 +87,47 @@ func run() int {
 			return 2
 		}
 		sc.Netem = &p
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-trace: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-trace: %v\n", err)
+			return 2
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	render := func(t *metrics.Table) {

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/relchan"
+	"repro/internal/topology"
 	"repro/internal/visited"
 )
 
@@ -105,17 +106,24 @@ type roundTimer struct{ id proto.MsgID }
 // Like flood.Shared, it is single-threaded by design: each parallel
 // trial-runner worker owns its own Shared alongside its own network.
 type Shared struct {
-	states *visited.Table[*State]
-	pool   *visited.Pool[*State]
+	n     int
+	parts []adaptPart
 	// gen counts Resets; engines compare it to drop their per-node
-	// virtual-source/pending-token leftovers from earlier trials.
+	// virtual-source/pending-token leftovers from earlier trials. It is
+	// written only between runs, so concurrent shards reading it race-free.
 	gen uint64
 }
 
-// NewShared returns shared diffusion state for node IDs in [0, n).
-func NewShared(n int) *Shared {
-	return &Shared{
-		states: visited.NewTable[*State](n),
+// adaptPart is the diffusion state of one contiguous node range: under
+// the sharded event loop each shard's handlers touch exactly one part.
+type adaptPart struct {
+	states *visited.Table[*State]
+	pool   *visited.Pool[*State]
+}
+
+func newAdaptPart(lo, hi int) adaptPart {
+	return adaptPart{
+		states: visited.NewTableRange[*State](lo, hi),
 		pool: visited.NewPool(
 			func() *State { return &State{Parent: proto.NoNode} },
 			func(st *State) {
@@ -129,16 +137,48 @@ func NewShared(n int) *Shared {
 	}
 }
 
+// NewShared returns shared diffusion state for node IDs in [0, n).
+func NewShared(n int) *Shared {
+	s := &Shared{n: n}
+	s.Partition(1)
+	return s
+}
+
+// Partition splits the state into k contiguous node-range parts aligned
+// with the sharded network's topology.ShardBounds partition (see
+// flood.Shared.Partition — the same contract: call while idle, before
+// engines are built; k=1 restores the unpartitioned form).
+func (s *Shared) Partition(k int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > s.n {
+		k = s.n
+	}
+	bounds := topology.ShardBounds(s.n, k)
+	s.parts = make([]adaptPart, k)
+	for i := range s.parts {
+		s.parts[i] = newAdaptPart(int(bounds[i]), int(bounds[i+1]))
+	}
+}
+
 // N returns the node count the state was sized for.
-func (s *Shared) N() int { return s.states.N() }
+func (s *Shared) N() int { return s.n }
+
+// part returns the partition cell owning node self.
+func (s *Shared) part(self proto.NodeID) *adaptPart {
+	return &s.parts[topology.ShardOf(self, s.n, len(s.parts))]
+}
 
 // Reset invalidates all per-message state and reclaims the State
 // objects for the next trial. The previous trial's network must be
 // drained or discarded; engines notice the new generation and drop any
 // virtual-source or buffered-token state a truncated trial left behind.
 func (s *Shared) Reset() {
-	s.states.Reset()
-	s.pool.Reset()
+	for i := range s.parts {
+		s.parts[i].states.Reset()
+		s.parts[i].pool.Reset()
+	}
 	s.gen++
 }
 
@@ -154,8 +194,12 @@ type Engine struct {
 	cfg    Config
 	states map[proto.MsgID]*State // standalone mode; nil in dense mode
 	shared *Shared                // dense mode; nil in standalone mode
-	self   proto.NodeID
-	gen    uint64                   // last Shared generation synced (dense mode)
+	// dstates/dpool cache the partition cell owning self (dense mode),
+	// resolved at construction so the hot path never re-derives it.
+	dstates *visited.Table[*State]
+	dpool   *visited.Pool[*State]
+	self    proto.NodeID
+	gen     uint64                   // last Shared generation synced (dense mode)
 	vs     map[proto.MsgID]*vsState // lazy: only ever the token holder
 	// pendingToken buffers a token that arrived before the payload (only
 	// possible under exotic latency models; links are FIFO).
@@ -259,14 +303,15 @@ func NewEngineAt(cfg Config, shared *Shared, self proto.NodeID) *Engine {
 		panic("adaptive: NewEngineAt node out of range")
 	}
 	cfg.applyDefaults()
-	return &Engine{cfg: cfg, shared: shared, self: self, rel: newChannel(&cfg)}
+	part := shared.part(self)
+	return &Engine{cfg: cfg, shared: shared, dstates: part.states, dpool: part.pool, self: self, rel: newChannel(&cfg)}
 }
 
 // State returns the node's tree state for a message, or nil.
 func (e *Engine) State(id proto.MsgID) *State {
 	e.sync()
 	if e.shared != nil {
-		if vec := e.shared.states.Lookup(id); vec != nil {
+		if vec := e.dstates.Lookup(id); vec != nil {
 			if st, ok := vec.Get(e.self); ok {
 				return st
 			}
@@ -281,9 +326,9 @@ func (e *Engine) State(id proto.MsgID) *State {
 func (e *Engine) putState(id proto.MsgID, payload []byte, parent proto.NodeID, round uint16) *State {
 	var st *State
 	if e.shared != nil {
-		st = e.shared.pool.Get()
+		st = e.dpool.Get()
 		st.Payload, st.Parent, st.lastRound = payload, parent, round
-		e.shared.states.Vec(id).Set(e.self, st)
+		e.dstates.Vec(id).Set(e.self, st)
 		return st
 	}
 	st = &State{Payload: payload, Parent: parent, lastRound: round}

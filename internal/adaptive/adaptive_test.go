@@ -325,12 +325,13 @@ func TestSharedReuseAcrossTrials(t *testing.T) {
 			t.Fatalf("trial %d: %d messages, want %d", trial, net.TotalMessages(), firstMsgs)
 		}
 	}
-	if shared.pool.Free() != 0 || shared.pool.Issued() == 0 {
+	pool := shared.parts[0].pool
+	if pool.Free() != 0 || pool.Issued() == 0 {
 		t.Fatalf("pool state off: %d free, %d issued before final reset",
-			shared.pool.Free(), shared.pool.Issued())
+			pool.Free(), pool.Issued())
 	}
 	shared.Reset()
-	if shared.pool.Free() == 0 {
+	if pool.Free() == 0 {
 		t.Fatal("Reset reclaimed no States")
 	}
 }

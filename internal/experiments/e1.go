@@ -33,8 +33,9 @@ func E1Messages(sc Scenario) *metrics.Table {
 		g := regular(n, deg, seed)
 
 		// Flood-and-prune.
-		netF := sim.NewNetwork(g, sc.netOptions(seed, netem.WAN))
+		netF := sim.NewNetwork(g, sc.shardOptions(seed, netem.WAN))
 		fShared := flood.NewShared(n)
+		fShared.Partition(sc.Shards)
 		netF.SetHandlers(func(id proto.NodeID) proto.Handler { return flood.NewAt(fShared, id) })
 		netF.Start()
 		src := proto.NodeID(int(seed) % n)
@@ -42,13 +43,15 @@ func E1Messages(sc Scenario) *metrics.Table {
 			panic(err)
 		}
 		netF.RunUntil(time.Minute)
+		sc.logShards("e1 flood", trial, netF)
 		s := sample{flood: float64(netF.TotalMessages())}
 
 		// Adaptive diffusion until full coverage (D effectively
 		// unbounded; we stop as soon as every peer is infected and
 		// count the messages sent up to that point).
-		netA := sim.NewNetwork(g, sc.netOptions(seed, netem.WAN))
+		netA := sim.NewNetwork(g, sc.shardOptions(seed, netem.WAN))
 		aShared := adaptive.NewShared(n)
+		aShared.Partition(sc.Shards)
 		netA.SetHandlers(func(id proto.NodeID) proto.Handler {
 			return adaptive.NewAt(adaptive.Config{D: 64, RoundInterval: 500 * time.Millisecond, TreeDegree: deg}, aShared, id)
 		})
@@ -60,6 +63,7 @@ func E1Messages(sc Scenario) *metrics.Table {
 		for step := 0; step < 256 && netA.Delivered(id) < n; step++ {
 			netA.RunUntil(netA.Now() + 250*time.Millisecond)
 		}
+		sc.logShards("e1 adaptive", trial, netA)
 		s.adaptive = float64(netA.TotalMessages())
 		return s
 	})

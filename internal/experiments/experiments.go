@@ -17,6 +17,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"time"
 
 	"repro/internal/metrics"
@@ -42,6 +43,17 @@ type Scenario struct {
 	// Par is the trial worker-pool size: 0 means GOMAXPROCS, 1 forces
 	// the sequential loop. Tables are identical at every setting.
 	Par int
+	// Shards partitions each trial network across per-shard event loops
+	// (`flexsim -shards`) on the experiments that support in-run
+	// parallelism (e1, e14 — the city-scale sweeps). Tables are
+	// bit-identical at every setting (TestShardedGoldenTables); networks
+	// whose configuration cannot shard safely clamp to one loop. 0 or 1
+	// keeps the single event loop.
+	Shards int
+	// Verbose emits per-shard diagnostics (event counts, lookahead
+	// stalls, cross-shard handoffs) to stderr on sharded experiments
+	// (`flexsim -v`).
+	Verbose bool
 	// FreshNet disables worker network reuse on the experiments that
 	// hold one sim.Network per worker across trials (E4/E6/A1),
 	// rebuilding a network per trial instead. Tables are identical
@@ -115,6 +127,28 @@ func (sc Scenario) netOptions(seed uint64, def netem.Profile) sim.Options {
 		return sim.Options{Seed: seed, Netem: &p}
 	}
 	return sim.Options{Seed: seed, Latency: p.Model()}
+}
+
+// shardOptions is netOptions plus the scenario's shard request — used by
+// the experiments that opt into in-run parallelism. The network clamps
+// the request to one loop whenever the configuration cannot shard
+// safely, so passing it through unconditionally is always sound.
+func (sc Scenario) shardOptions(seed uint64, def netem.Profile) sim.Options {
+	o := sc.netOptions(seed, def)
+	o.Shards = sc.Shards
+	return o
+}
+
+// logShards emits one trial's per-shard diagnostics when Verbose.
+func (sc Scenario) logShards(label string, trial int, net *sim.Network) {
+	if !sc.Verbose || net.ShardCount() <= 1 {
+		return
+	}
+	for _, st := range net.ShardStats() {
+		fmt.Fprintf(os.Stderr,
+			"%s trial %d shard %d: nodes=%d events=%d stalls=%d/%d windows handoffs=%d\n",
+			label, trial, st.Shard, st.Nodes, st.Events, st.Stalls, st.Windows, st.Handoffs)
+	}
 }
 
 // Experiment is a named, runnable reproduction of one paper artifact.

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShardedGoldenTables replays the sharding-aware experiments (e1,
+// e14 — the ones `flexsim -shards` parallelizes) at shard counts
+// 1/2/4/7 and diffs each table against the same committed fixture the
+// single-loop run is held to: sharding is pure execution strategy, so
+// every cell except the masked wall-clock columns must be bit-identical
+// at any shard count. Under CI's -race run this also races the dense
+// partitioned handler state (flood/adaptive Shared) across the
+// per-shard goroutines.
+func TestShardedGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; run without -short")
+	}
+	for _, id := range []string{"e1", "e14"} {
+		e := Find(id)
+		if e == nil {
+			t.Fatalf("experiment %s missing", id)
+		}
+		path := filepath.Join("testdata", "golden", id+".txt")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden table (run TestGoldenTables -update first): %v", err)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			t.Run(id+"/shards="+string(rune('0'+shards)), func(t *testing.T) {
+				sc := Quick()
+				sc.Shards = shards
+				tbl := e.Run(sc)
+				for _, col := range volatileColumns[id] {
+					maskColumn(t, tbl, col)
+				}
+				if got := tbl.Render(); got != string(want) {
+					t.Errorf("%s table at %d shards drifted from the single-loop fixture:\n--- got\n%s\n--- want\n%s",
+						id, shards, got, want)
+				}
+			})
+		}
+	}
+}

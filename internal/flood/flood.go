@@ -12,6 +12,7 @@ package flood
 
 import (
 	"repro/internal/proto"
+	"repro/internal/topology"
 	"repro/internal/visited"
 	"repro/internal/wire"
 )
@@ -63,14 +64,21 @@ func RegisterMessages(c *wire.Codec) {
 // not safe for concurrent use: under the parallel trial runner each
 // worker goroutine owns its own Shared, as it owns its own sim.Network.
 type Shared struct {
+	n     int
+	parts []floodPart
+}
+
+// floodPart is the state of one contiguous node range: under the sharded
+// event loop each shard's handlers touch exactly one part, so no two
+// shards share a table or a pool.
+type floodPart struct {
 	seen  *visited.Table[struct{}]
 	relay *visited.Pool[*DataMsg]
 }
 
-// NewShared returns shared flood state for node IDs in [0, n).
-func NewShared(n int) *Shared {
-	return &Shared{
-		seen: visited.NewTable[struct{}](n),
+func newFloodPart(lo, hi int) floodPart {
+	return floodPart{
+		seen: visited.NewTableRange[struct{}](lo, hi),
 		relay: visited.NewPool(
 			func() *DataMsg { return new(DataMsg) },
 			// Do not pin trial payloads through the pool.
@@ -79,14 +87,49 @@ func NewShared(n int) *Shared {
 	}
 }
 
+// NewShared returns shared flood state for node IDs in [0, n).
+func NewShared(n int) *Shared {
+	s := &Shared{n: n}
+	s.Partition(1)
+	return s
+}
+
+// Partition splits the state into k contiguous node-range parts aligned
+// with the sharded network's topology.ShardBounds partition, so each
+// shard's handlers operate on a private table and pool. It must be
+// called while the state is idle (before handlers are built, or after
+// Reset with the previous network drained); a k of 1 restores the
+// unpartitioned form. Partitioning with the network clamped to a single
+// shard is harmless — one thread then touches all parts.
+func (s *Shared) Partition(k int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > s.n {
+		k = s.n
+	}
+	bounds := topology.ShardBounds(s.n, k)
+	s.parts = make([]floodPart, k)
+	for i := range s.parts {
+		s.parts[i] = newFloodPart(int(bounds[i]), int(bounds[i+1]))
+	}
+}
+
 // N returns the node count the state was sized for.
-func (s *Shared) N() int { return s.seen.N() }
+func (s *Shared) N() int { return s.n }
 
 // Reset invalidates all seen-state and reclaims pooled relay messages
 // for the next trial. The previous trial's network must be drained.
 func (s *Shared) Reset() {
-	s.seen.Reset()
-	s.relay.Reset()
+	for i := range s.parts {
+		s.parts[i].seen.Reset()
+		s.parts[i].relay.Reset()
+	}
+}
+
+// part returns the partition cell owning node self.
+func (s *Shared) part(self proto.NodeID) *floodPart {
+	return &s.parts[topology.ShardOf(self, s.n, len(s.parts))]
 }
 
 // Engine is the reusable flood-and-prune core: a seen-set plus forwarding
@@ -100,8 +143,11 @@ func (s *Shared) Reset() {
 // network through a Shared — right for simulation trials, where it cuts
 // per-trial handler allocations to zero in steady state.
 type Engine struct {
-	seen   map[proto.MsgID]struct{} // standalone mode; nil in dense mode
-	shared *Shared                  // dense mode; nil in standalone mode
+	seen map[proto.MsgID]struct{} // standalone mode; nil in dense mode
+	// Dense mode: the partition cell owning self, resolved at
+	// construction so the hot path never re-derives it.
+	dseen  *visited.Table[struct{}]
+	drelay *visited.Pool[*DataMsg]
 	self   proto.NodeID
 }
 
@@ -112,19 +158,22 @@ func NewEngine() *Engine {
 
 // NewEngineAt returns an engine for node self backed by shared dense
 // state. Engines in this mode hold no per-node state at all and are
-// reusable across trials (Reset the Shared between trials).
+// reusable across trials (Reset the Shared between trials). Build
+// engines after any Shared.Partition call — they cache their partition
+// cell.
 func NewEngineAt(shared *Shared, self proto.NodeID) *Engine {
 	if int(self) < 0 || int(self) >= shared.N() {
 		panic("flood: NewEngineAt node out of range")
 	}
-	return &Engine{shared: shared, self: self}
+	part := shared.part(self)
+	return &Engine{dseen: part.seen, drelay: part.relay, self: self}
 }
 
 // Seen reports whether the payload was already seen (and hence pruned on
 // re-arrival).
 func (e *Engine) Seen(id proto.MsgID) bool {
-	if e.shared != nil {
-		vec := e.shared.seen.Lookup(id)
+	if e.dseen != nil {
+		vec := e.dseen.Lookup(id)
 		return vec != nil && vec.Has(e.self)
 	}
 	_, ok := e.seen[id]
@@ -135,8 +184,8 @@ func (e *Engine) Seen(id proto.MsgID) bool {
 // the id was new. Phase-2 infection uses this so that the later flood
 // prunes at already-infected nodes.
 func (e *Engine) MarkSeen(id proto.MsgID) bool {
-	if e.shared != nil {
-		return e.shared.seen.Vec(id).Mark(e.self)
+	if e.dseen != nil {
+		return e.dseen.Vec(id).Mark(e.self)
 	}
 	if _, ok := e.seen[id]; ok {
 		return false
@@ -168,8 +217,8 @@ func (e *Engine) Spread(ctx proto.Context, id proto.MsgID, payload []byte, hops 
 
 // newData allocates a relay message — pooled in dense mode.
 func (e *Engine) newData() *DataMsg {
-	if e.shared != nil {
-		return e.shared.relay.Get()
+	if e.drelay != nil {
+		return e.drelay.Get()
 	}
 	return new(DataMsg)
 }

@@ -217,12 +217,13 @@ func TestSharedReuseAcrossTrials(t *testing.T) {
 			t.Fatalf("trial %d: messages %d, want %d", trial, got, want)
 		}
 	}
-	if shared.relay.Issued() == 0 {
+	relay := shared.parts[0].relay
+	if relay.Issued() == 0 {
 		t.Fatal("no pooled relay messages issued")
 	}
-	live := shared.relay.Issued()
+	live := relay.Issued()
 	shared.Reset()
-	if shared.relay.Free() < live {
-		t.Fatalf("Reset reclaimed %d of %d relay messages", shared.relay.Free(), live)
+	if relay.Free() < live {
+		t.Fatalf("Reset reclaimed %d of %d relay messages", relay.Free(), live)
 	}
 }

@@ -54,6 +54,12 @@ type Dist interface {
 	// unbounded tails) — quiescence pollers size their stillness
 	// windows with it.
 	Max() time.Duration
+	// Floor bounds the distribution from below: no hash-mode sample is
+	// ever smaller. The sharded event loop derives its conservative
+	// lookahead from it (Profile.MinDelay). For unbounded-below tails it
+	// is the hash grid's bound (u01 keeps |z| ≤ ~8.3), which rng-mode
+	// also respects for any practical stream length.
+	Floor() time.Duration
 	// String renders the distribution in ParseDist syntax.
 	String() string
 }
@@ -69,6 +75,9 @@ func (c Const) At(uint64) time.Duration { return time.Duration(c) }
 
 // Max implements Dist.
 func (c Const) Max() time.Duration { return time.Duration(c) }
+
+// Floor implements Dist.
+func (c Const) Floor() time.Duration { return time.Duration(c) }
 
 // String implements Dist.
 func (c Const) String() string { return time.Duration(c).String() }
@@ -101,6 +110,9 @@ func (u Uniform) At(w uint64) time.Duration {
 
 // Max implements Dist.
 func (u Uniform) Max() time.Duration { return max(u.Min, u.Hi) }
+
+// Floor implements Dist.
+func (u Uniform) Floor() time.Duration { return min(u.Min, u.Hi) }
 
 // String implements Dist.
 func (u Uniform) String() string {
@@ -144,6 +156,13 @@ func (l LogNormal) Max() time.Duration {
 	return d
 }
 
+// Floor implements Dist: the u01 grid keeps |z| below ~8.3, so the
+// hash-mode samples never fall under Median·e^(−8.3·Sigma) — a small
+// but strictly positive bound for any positive median.
+func (l LogNormal) Floor() time.Duration {
+	return time.Duration(float64(l.Median) * math.Exp(-8.3*l.Sigma))
+}
+
 // String implements Dist.
 func (l LogNormal) String() string {
 	return fmt.Sprintf("lognormal:%s:%g", l.Median, l.Sigma)
@@ -173,6 +192,14 @@ func (e Empirical) Max() time.Duration {
 		return 0
 	}
 	return e.Values[len(e.Values)-1]
+}
+
+// Floor implements Dist.
+func (e Empirical) Floor() time.Duration {
+	if len(e.Values) == 0 {
+		return 0
+	}
+	return e.Values[0]
 }
 
 // String implements Dist.
@@ -285,6 +312,21 @@ func (p Profile) MaxDelay() time.Duration {
 	return d
 }
 
+// MinDelay bounds one shaped hold from below: no hash-mode decision ever
+// holds a message for less. This is the conservative lookahead the
+// sharded event loop advances under — a cross-shard message sent at time
+// t can only arrive at t+MinDelay or later.
+func (p Profile) MinDelay() time.Duration {
+	var d time.Duration
+	if p.Latency != nil {
+		d += p.Latency.Floor()
+	}
+	if p.Jitter != nil {
+		d += p.Jitter.Floor()
+	}
+	return d
+}
+
 // RandModel adapts the profile's latency+jitter to the simulator's
 // draw-per-message LatencyModel contract (rng-mode). It implements
 // sim.LatencyModel structurally without importing sim.
@@ -305,6 +347,22 @@ func (m RandModel) Delay(_, _ proto.NodeID, rng *rand.Rand) time.Duration {
 		d += m.p.Jitter.Draw(rng)
 	}
 	return d
+}
+
+// ShardLookahead implements sim.Lookaheader structurally. An rng-mode
+// model is safe to shard only when it never draws from the shared RNG
+// stream — i.e. every component is constant (or absent); a drawing model
+// split across shards would consume the stream in execution order, which
+// is exactly what sharding must not depend on.
+func (m RandModel) ShardLookahead() (time.Duration, bool) {
+	drawFree := func(d Dist) bool {
+		if d == nil {
+			return true
+		}
+		_, ok := d.(Const)
+		return ok
+	}
+	return m.p.MinDelay(), drawFree(m.p.Latency) && drawFree(m.p.Jitter)
 }
 
 // Shaper makes hash-mode link decisions for one (profile, seed) pair:

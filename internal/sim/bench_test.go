@@ -130,4 +130,60 @@ func BenchmarkNetworkFloodShaped(b *testing.B) {
 	}
 }
 
+// bench100k lazily builds the shared 100k-node overlay for the sharded
+// flood benchmarks (one build serves all three shard counts).
+var bench100k *topology.Graph
+
+func bench100kGraph(b *testing.B) *topology.Graph {
+	b.Helper()
+	if bench100k == nil {
+		g, err := topology.RandomRegular(100_000, 8, testBenchRNG())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench100k = g
+	}
+	return bench100k
+}
+
+// benchShardedFlood measures a full N=100k flood broadcast with the
+// event loop split across k conservatively synchronized shards (k=1 is
+// the plain single-loop baseline). The WAN-const latency keeps the run
+// shard-eligible with a 50ms lookahead, so windows are deep and barrier
+// overhead is amortized; the ratio of the Sharded1 to Sharded4/8 numbers
+// is the single-run speedup (on a multi-core host; on one core the
+// extra goroutines can only add overhead).
+func benchShardedFlood(b *testing.B, k int) {
+	g := bench100kGraph(b)
+	net := NewNetwork(g, Options{Seed: 1, Latency: ConstLatency(50 * time.Millisecond), Shards: k})
+	shared := flood.NewShared(g.N())
+	shared.Partition(k)
+	handlers := make([]proto.Handler, g.N())
+	for i := range handlers {
+		handlers[i] = flood.NewAt(shared, proto.NodeID(i))
+	}
+	payload := []byte{0, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Reset(uint64(i + 1))
+		shared.Reset()
+		net.SetHandlers(func(id proto.NodeID) proto.Handler { return handlers[id] })
+		net.Start()
+		payload[0], payload[1] = byte(i), byte(i>>8)
+		if _, err := net.Originate(0, payload); err != nil {
+			b.Fatal(err)
+		}
+		net.Run(0)
+	}
+	b.StopTimer()
+	if k > 1 && net.ShardCount() != k {
+		b.Fatalf("resolved to %d shards, want %d", net.ShardCount(), k)
+	}
+}
+
+func BenchmarkShardedFlood1(b *testing.B) { benchShardedFlood(b, 1) }
+func BenchmarkShardedFlood4(b *testing.B) { benchShardedFlood(b, 4) }
+func BenchmarkShardedFlood8(b *testing.B) { benchShardedFlood(b, 8) }
+
 func testBenchRNG() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }

@@ -8,7 +8,20 @@
 //
 // Determinism contract: a Network built from the same topology, seed and
 // options replays the exact same event sequence. All randomness flows from
-// the seed; events at equal virtual times fire in schedule order.
+// the seed; events at equal virtual times fire in a deterministic order
+// that is additionally *shard-invariant* (see below).
+//
+// Event ordering. Every event is keyed by (at, src, seq): the fire time,
+// the scheduling context (the node whose handler scheduled it, or ctlSrc
+// for engine-level control events), and a per-context counter. Within one
+// context the counter rises with schedule time, so each context's events
+// fire in the order it scheduled them (the FIFO the protocols rely on);
+// same-instant ties between contexts break by node ID, with control
+// events (crash/restore injection) first. The key is a pure function of
+// who scheduled what — never of execution interleaving or of how events
+// are distributed over heaps — which is what lets the sharded runtime
+// (shard.go) split the node set across K independent heaps and still pop
+// every node's events in exactly the single-heap order.
 //
 // The engine is allocation-free in steady state: event records live in a
 // slot arena recycled through a free list, the heap orders int32 slot
@@ -40,9 +53,16 @@ const (
 	evTimer
 )
 
-// event is one arena slot. Ordering keys (at, seq) live in the heap
-// entries, not here; the slot only carries the payload and the
-// cancellation/generation state.
+// ctlSrc is the scheduling-context ID of engine-level control events
+// (Engine.Schedule: churn injection, driver callbacks). It sorts before
+// every node ID, so a control event fires ahead of same-instant node
+// events — crash/restore at time T precedes deliveries arriving at T,
+// exactly as the Start-time schedule order used to guarantee.
+const ctlSrc proto.NodeID = -1
+
+// event is one arena slot. Ordering keys live in the heap entries, not
+// here; the slot only carries the payload and the cancellation/generation
+// state.
 type event struct {
 	gen      uint32 // bumped on release; stale Timer handles miss
 	kind     eventKind
@@ -57,20 +77,37 @@ type event struct {
 	payload any           // evTimer
 }
 
-// heapEntry is one node of the 4-ary min-heap: the ordering key plus the
-// arena slot it refers to. Keeping the key inline means sift operations
-// never chase the arena.
+// evKey is the deterministic, shard-invariant ordering tail of one event:
+// scheduling context and per-context sequence number.
+type evKey struct {
+	src proto.NodeID
+	seq uint32
+}
+
+// heapEntry is one node of the 4-ary min-heap: the full ordering key plus
+// the arena slot it refers to. Keeping the key inline means sift
+// operations never chase the arena, and the (src, seq) tail is packed
+// into one word so a same-instant tie — the common case under constant
+// link latency, where a whole broadcast wave lands on the same
+// nanosecond — resolves in a single compare.
 type heapEntry struct {
 	at  time.Duration
-	seq uint64
+	tag uint64 // (src+1) in the high word, seq in the low
 	idx int32
+}
+
+// keyTag packs an ordering key's provenance tail. NodeIDs are int32-
+// ranged (ctlSrc = -1 maps to 0, sorting first), so the shifted word is
+// exact and uint64 order equals (src, seq) lexicographic order.
+func keyTag(src proto.NodeID, seq uint32) uint64 {
+	return uint64(uint32(src+1))<<32 | uint64(seq)
 }
 
 func (a heapEntry) before(b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.tag < b.tag
 }
 
 // Arena geometry: events live in fixed-size blocks so growing the arena
@@ -86,11 +123,14 @@ const (
 
 type arenaBlock [arenaBlockSize]event
 
-// Engine is a single-threaded discrete-event executor.
+// Engine is a single-threaded discrete-event executor. Under the sharded
+// runtime each shard owns one Engine; engines never touch each other's
+// state — cross-shard events are handed over between windows while every
+// engine is idle.
 type Engine struct {
-	now   time.Duration
-	seq   uint64
-	steps uint64
+	now    time.Duration
+	ctlSeq uint32 // per-engine counter for control events (src = ctlSrc)
+	steps  uint64
 
 	blocks []*arenaBlock
 	next   int32   // first never-used slot index
@@ -108,7 +148,7 @@ func NewEngine() *Engine { return &Engine{} }
 // caller (generations restart, so a stale handle could otherwise cancel
 // an unrelated new event).
 func (e *Engine) Reset() {
-	e.now, e.seq, e.steps = 0, 0, 0
+	e.now, e.ctlSeq, e.steps = 0, 0, 0
 	e.heap = e.heap[:0]
 	e.free = e.free[:0]
 	// Zero the used prefix of the arena: drops message/payload references
@@ -120,6 +160,25 @@ func (e *Engine) Reset() {
 	e.next = 0
 }
 
+// Reserve pre-sizes the heap and free list for an expected concurrent
+// event population, so schedule-heavy runs never pay re-grow copies on
+// the hot path. The sharded runtime calls it with the expected per-shard
+// population (≈ nodes/shards × degree); it is a capacity hint only and
+// never shrinks.
+func (e *Engine) Reserve(events int) {
+	if events <= cap(e.heap) {
+		return
+	}
+	grown := make([]heapEntry, len(e.heap), events)
+	copy(grown, e.heap)
+	e.heap = grown
+	if cap(e.free) < events {
+		gf := make([]int32, len(e.free), events)
+		copy(gf, e.free)
+		e.free = gf
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
@@ -128,6 +187,17 @@ func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of scheduled (possibly canceled) events.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// nextAt returns the fire time of the earliest pending event. ok is
+// false when the heap is empty. Canceled events still count — they are
+// only discovered (and released) when popped, which at worst makes a
+// lookahead window conservative, never wrong.
+func (e *Engine) nextAt() (time.Duration, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
 
 // slot returns the arena cell for an index.
 func (e *Engine) slot(idx int32) *event {
@@ -170,16 +240,24 @@ func (e *Engine) release(idx int32) {
 	e.free = append(e.free, idx)
 }
 
-// schedule allocates a slot for an event firing after delay (clamped to
-// ≥ 0) and pushes it on the heap. The caller fills the payload fields.
+// scheduleAt allocates a slot for an event firing at the absolute time
+// `at` under the given ordering key and pushes it on the heap. The caller
+// fills the payload fields. It is the one entry point every schedule path
+// — local, control, and cross-shard handover — funnels through.
+func (e *Engine) scheduleAt(at time.Duration, key evKey) int32 {
+	idx := e.alloc()
+	e.heapPush(heapEntry{at: at, tag: keyTag(key.src, key.seq), idx: idx})
+	return idx
+}
+
+// schedule allocates a slot for a control event firing after delay
+// (clamped to ≥ 0), keyed to this engine's control stream.
 func (e *Engine) schedule(delay time.Duration) int32 {
 	if delay < 0 {
 		delay = 0
 	}
-	idx := e.alloc()
-	e.seq++
-	e.heapPush(heapEntry{at: e.now + delay, seq: e.seq, idx: idx})
-	return idx
+	e.ctlSeq++
+	return e.scheduleAt(e.now+delay, evKey{src: ctlSrc, seq: e.ctlSeq})
 }
 
 // Schedule runs fn after delay of virtual time. A negative delay is
@@ -192,10 +270,13 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	return Timer{e: e, idx: idx, gen: ev.gen}
 }
 
-// scheduleDeliver enqueues a typed message-delivery event — the Network
-// hot path; no closure and no per-event heap allocation.
-func (e *Engine) scheduleDeliver(delay time.Duration, dst *simNode, src proto.NodeID, msg proto.Message) {
-	idx := e.schedule(delay)
+// scheduleDeliver enqueues a typed message-delivery event at absolute
+// arrival time `at` — the Network hot path; no closure and no per-event
+// heap allocation. The key carries the sender's provenance, so the event
+// sorts identically whether it was pushed by the sender's own shard or
+// handed over at a window barrier.
+func (e *Engine) scheduleDeliver(at time.Duration, key evKey, dst *simNode, src proto.NodeID, msg proto.Message) {
+	idx := e.scheduleAt(at, key)
 	ev := e.slot(idx)
 	ev.kind = evDeliver
 	ev.node = dst
@@ -203,9 +284,14 @@ func (e *Engine) scheduleDeliver(delay time.Duration, dst *simNode, src proto.No
 	ev.msg = msg
 }
 
-// scheduleTimer enqueues a typed node-timer event (Context.SetTimer).
+// scheduleTimer enqueues a typed node-timer event (Context.SetTimer),
+// keyed to the node's own schedule stream.
 func (e *Engine) scheduleTimer(delay time.Duration, node *simNode, id proto.TimerID, payload any) Timer {
-	idx := e.schedule(delay)
+	if delay < 0 {
+		delay = 0
+	}
+	node.schedSeq++
+	idx := e.scheduleAt(e.now+delay, evKey{src: node.id, seq: node.schedSeq})
 	ev := e.slot(idx)
 	ev.kind = evTimer
 	ev.node = node
@@ -254,6 +340,7 @@ func (e *Engine) RunUntil(deadline time.Duration) uint64 {
 	return n
 }
 
+// runUntil executes events with at ≤ deadline (inclusive bound).
 func (e *Engine) runUntil(deadline time.Duration, maxEvents uint64) uint64 {
 	var executed uint64
 	for len(e.heap) > 0 {
@@ -261,36 +348,9 @@ func (e *Engine) runUntil(deadline time.Duration, maxEvents uint64) uint64 {
 		if root.at > deadline {
 			break
 		}
-		e.heapPopRoot()
-		ev := e.slot(root.idx)
-		if ev.canceled {
-			e.release(root.idx)
+		if !e.step(root) {
 			continue
 		}
-		e.now = root.at
-		// Copy the payload out and recycle the slot before dispatching:
-		// the callback may schedule new events that reuse it.
-		kind := ev.kind
-		switch kind {
-		case evFunc:
-			fn := ev.fn
-			e.release(root.idx)
-			fn()
-		case evDeliver:
-			node, src, msg := ev.node, ev.src, ev.msg
-			e.release(root.idx)
-			if !node.crashed {
-				node.handler.HandleMessage(node, src, msg)
-			}
-		case evTimer:
-			node, id, payload := ev.node, ev.timerID, ev.payload
-			e.release(root.idx)
-			node.onTimerFire(id, payload)
-		default:
-			e.release(root.idx)
-			continue
-		}
-		e.steps++
 		executed++
 		if maxEvents > 0 && executed >= maxEvents {
 			break
@@ -299,13 +359,70 @@ func (e *Engine) runUntil(deadline time.Duration, maxEvents uint64) uint64 {
 	return executed
 }
 
+// runBefore executes events with at < horizon (exclusive bound) — the
+// sharded window form: the horizon is minNext+lookahead, and events at
+// exactly the horizon must wait for the barrier because a cross-shard
+// message may still arrive at that instant and sort ahead of them.
+func (e *Engine) runBefore(horizon time.Duration) uint64 {
+	var executed uint64
+	for len(e.heap) > 0 {
+		root := e.heap[0]
+		if root.at >= horizon {
+			break
+		}
+		if !e.step(root) {
+			continue
+		}
+		executed++
+	}
+	return executed
+}
+
+// step pops and executes the root event; it reports whether a live event
+// actually ran (false for canceled slots).
+func (e *Engine) step(root heapEntry) bool {
+	e.heapPopRoot()
+	ev := e.slot(root.idx)
+	if ev.canceled {
+		e.release(root.idx)
+		return false
+	}
+	e.now = root.at
+	// Copy the payload out and recycle the slot before dispatching:
+	// the callback may schedule new events that reuse it.
+	kind := ev.kind
+	switch kind {
+	case evFunc:
+		fn := ev.fn
+		e.release(root.idx)
+		fn()
+	case evDeliver:
+		node, src, msg := ev.node, ev.src, ev.msg
+		e.release(root.idx)
+		if !node.crashed {
+			node.handler.HandleMessage(node, src, msg)
+		}
+	case evTimer:
+		node, id, payload := ev.node, ev.timerID, ev.payload
+		e.release(root.idx)
+		node.onTimerFire(id, payload)
+	default:
+		e.release(root.idx)
+		return false
+	}
+	e.steps++
+	return true
+}
+
 // 4-ary min-heap over heapEntry. Flatter than a binary heap: half the
 // levels, so roughly half the cache misses per pop at simulation scale.
 
 func (e *Engine) heapPush(ent heapEntry) {
 	if len(e.heap) == cap(e.heap) {
 		// Double explicitly: Go's 1.25× growth policy for large slices
-		// would copy ~4× the final size over a long run.
+		// would copy ~4× the final size over a long run. Reserve() set
+		// the expected population up front, so this is the overflow
+		// path, not the steady state.
 		grown := make([]heapEntry, len(e.heap), max(arenaBlockSize, 2*cap(e.heap)))
 		copy(grown, e.heap)
 		e.heap = grown

@@ -13,12 +13,29 @@ type LatencyModel interface {
 	Delay(from, to proto.NodeID, rng *rand.Rand) time.Duration
 }
 
+// Lookaheader is the optional LatencyModel extension the sharded event
+// loop consults: the minimum possible link delay (the conservative
+// lookahead shards may advance under) and whether the model is safe to
+// evaluate from concurrent shards at all. Models that draw from the
+// shared RNG stream must report ok=false — consuming the stream in
+// execution order is exactly the cross-shard dependence sharding
+// forbids — and the Network then falls back to a single shard.
+type Lookaheader interface {
+	ShardLookahead() (lookahead time.Duration, ok bool)
+}
+
 // ConstLatency delays every message by a fixed amount.
 type ConstLatency time.Duration
 
 // Delay implements LatencyModel.
 func (c ConstLatency) Delay(_, _ proto.NodeID, _ *rand.Rand) time.Duration {
 	return time.Duration(c)
+}
+
+// ShardLookahead implements Lookaheader: a constant model draws nothing,
+// so it shards with lookahead equal to the constant.
+func (c ConstLatency) ShardLookahead() (time.Duration, bool) {
+	return time.Duration(c), true
 }
 
 // UniformLatency draws delays uniformly from [Min, Max].
@@ -34,8 +51,17 @@ func (u UniformLatency) Delay(_, _ proto.NodeID, rng *rand.Rand) time.Duration {
 	return u.Min + time.Duration(rng.Int64N(int64(u.Max-u.Min)+1))
 }
 
+// ShardLookahead implements Lookaheader: the model draws from the shared
+// latency RNG in execution order, so it cannot shard (ok=false). Shaped
+// jitter that needs sharding goes through netem hash-mode instead.
+func (u UniformLatency) ShardLookahead() (time.Duration, bool) {
+	return min(u.Min, u.Max), false
+}
+
 // assertLatencyModels verifies interface compliance at compile time.
 var (
 	_ LatencyModel = ConstLatency(0)
 	_ LatencyModel = UniformLatency{}
+	_ Lookaheader  = ConstLatency(0)
+	_ Lookaheader  = UniformLatency{}
 )

@@ -15,6 +15,8 @@ import (
 // Tap observes network activity without being able to influence it; the
 // adversary framework and experiment tracers are Taps. Callbacks run
 // synchronously inside the event loop and must not mutate the network.
+// Registering a tap pins the network to a single shard (taps observe a
+// globally ordered event stream, which only one loop can produce).
 type Tap interface {
 	// OnSend fires when a message is handed to the network by from.
 	OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message)
@@ -45,6 +47,18 @@ type Options struct {
 	// injected through the event loop at Start (crash/rejoin via
 	// Crash/Restore).
 	Netem *netem.Profile
+	// Shards requests single-run parallelism: nodes are partitioned into
+	// up to this many contiguous ID ranges (topology.ShardBounds), each
+	// owning a private event loop, and the loops advance together under
+	// conservative lookahead = the minimum possible link delay. Every
+	// observable — counters, delivery sets, event counts, golden tables —
+	// is bit-identical at any shard count. The effective count is
+	// resolved at Start and clamps to 1 whenever sharding cannot be
+	// deterministic: registered taps, DropRate > 0, a latency model that
+	// draws from the shared RNG stream (or implements no Lookaheader),
+	// a zero minimum delay, or more shards than nodes. ≤ 1 means
+	// single-shard (the default).
+	Shards int
 }
 
 // typeCounter is the per-MsgType accounting cell.
@@ -115,9 +129,14 @@ func (l *linkStream) reset() {
 	l.more = l.more[:0]
 }
 
-// Network hosts one Handler per topology node under the event engine.
+// Network hosts one Handler per topology node under one or more event
+// engines. State is ownership-partitioned for the sharded mode: a
+// node's RNG, timers, crash flag and outgoing link FIFOs belong to its
+// shard; accounting and delivery records accumulate per shard and merge
+// on read (sums and first-delivery unions are order-free, so the merged
+// view is bit-identical at any shard count).
 type Network struct {
-	engine *Engine
+	engine *Engine // shard 0's engine; the only engine when unsharded
 	topo   *topology.Graph
 	opts   Options
 
@@ -127,14 +146,11 @@ type Network struct {
 	latencyRNG *rand.Rand
 	dropRNG    *rand.Rand
 
-	counters  [256]*counterPage
-	totalMsgs int64
-	totalByte int64
-
 	// Per-link FIFO state (like TCP, a link never reorders) in CSR form:
 	// linkDst[linkOff[v]:linkOff[v+1]] are v's neighbors and linkAt holds
 	// the latest scheduled arrival per directed edge. Sends outside the
-	// topology fall back to the per-node overflow list in simNode.
+	// topology fall back to the per-node overflow list in simNode. Each
+	// CSR row is owned by the sending node's shard.
 	linkOff []int32
 	linkDst []proto.NodeID
 	linkAt  []time.Duration
@@ -144,9 +160,17 @@ type Network struct {
 	linkStreams []linkStream
 
 	// shaper holds the netem hash-mode decision function (nil without
-	// Options.Netem); netemDropped counts messages it killed.
-	shaper       *netem.Shaper
-	netemDropped int64
+	// Options.Netem). Decide is a pure function of immutable state, so
+	// concurrent shards may consult it freely.
+	shaper *netem.Shaper
+
+	// shards always holds at least one entry; engCache retains engines
+	// across Reset/Start cycles so shard-count changes never rebuild
+	// arenas. lookahead is the resolved conservative window (0 when
+	// unsharded).
+	shards    []*shardState
+	engCache  []*Engine
+	lookahead time.Duration
 
 	deliveries map[proto.MsgID]*DeliverySet
 	started    bool
@@ -177,6 +201,7 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 		dropRNG:    rand.New(rand.NewPCG(opts.Seed, 0x2545f4914f6cdd1d)),
 		deliveries: make(map[proto.MsgID]*DeliverySet),
 	}
+	n.engCache = []*Engine{n.engine}
 	n.linkOff = make([]int32, topo.N()+1)
 	for i := 0; i < topo.N(); i++ {
 		n.linkOff[i+1] = n.linkOff[i] + int32(topo.Degree(proto.NodeID(i)))
@@ -195,9 +220,11 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 		node := &n.nodes[i]
 		node.net = n
 		node.id = proto.NodeID(i)
+		node.eng = n.engine
 		node.pcg = *rand.NewPCG(NodeSeed(opts.Seed, node.id))
 		node.rand = *rand.New(&node.pcg)
 	}
+	n.buildShards(1)
 	return n
 }
 
@@ -205,20 +232,23 @@ func NewNetwork(topo *topology.Graph, opts Options) *Network {
 // options, reseeded with seed — the trial-loop form: one long-lived
 // Network per worker goroutine, reset between trials, instead of a
 // rebuild per trial. A reset network is behaviorally indistinguishable
-// from NewNetwork(topo, opts-with-seed): the engine restarts at time
+// from NewNetwork(topo, opts-with-seed): every engine restarts at time
 // zero, every RNG is re-derived from the seed, and all counters,
-// deliveries, link-FIFO clamps and crash flags clear.
+// deliveries, link-FIFO clamps and crash flags clear. The shard layout
+// is re-resolved at the next Start (tap registration may have changed
+// eligibility); engines and queue capacity are retained.
 //
 // Handlers are dropped; call SetHandlers (and Start) again, typically
 // re-installing handlers whose state lives in a shared sized structure
 // (flood.Shared, adaptive.Shared) that the caller resets alongside.
 // Registered taps are kept.
 func (n *Network) Reset(seed uint64) {
-	n.engine.Reset()
+	for _, sh := range n.shards {
+		sh.reset()
+	}
 	n.opts.Seed = seed
 	n.latencyRNG = rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
 	n.dropRNG = rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
-	n.ResetCounters()
 	clear(n.deliveries)
 	for i := range n.linkAt {
 		n.linkAt[i] = 0
@@ -237,22 +267,52 @@ func (n *Network) Reset(seed uint64) {
 		node.handler = nil
 		node.crashed = false
 		node.nextTimer = 0
+		node.schedSeq = 0
 		clear(node.timers)
 		node.extra = node.extra[:0]
 	}
 	n.started = false
 }
 
-// Engine exposes the underlying event engine (for RunUntil etc.).
-func (n *Network) Engine() *Engine { return n.engine }
+// Engine exposes the underlying event engine (for RunUntil etc.). It is
+// only meaningful when the network runs a single event loop; a network
+// that resolved to multiple shards has no one engine, so this panics —
+// drive the run through Network.Run/RunUntil and read Network.Steps.
+func (n *Network) Engine() *Engine {
+	if len(n.shards) > 1 {
+		panic("sim: Engine() on a sharded network; use Network.Run/RunUntil/Steps")
+	}
+	return n.engine
+}
 
 // Topology returns the overlay graph.
 func (n *Network) Topology() *topology.Graph { return n.topo }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. Between runs all shard clocks
+// agree; shard 0's clock is the network's.
 func (n *Network) Now() time.Duration { return n.engine.Now() }
 
-// AddTap registers an observer. Must be called before Start.
+// Steps returns the number of events executed so far, summed across
+// shards — use this instead of Engine().Steps(), which is unavailable
+// on sharded networks.
+func (n *Network) Steps() uint64 {
+	var s uint64
+	for _, sh := range n.shards {
+		s += sh.eng.Steps()
+	}
+	return s
+}
+
+// ShardCount returns the effective shard count (resolved at Start; 1
+// before Start and whenever sharding was clamped).
+func (n *Network) ShardCount() int { return len(n.shards) }
+
+// Lookahead returns the conservative lookahead window the sharded run
+// advances under (0 when unsharded).
+func (n *Network) Lookahead() time.Duration { return n.lookahead }
+
+// AddTap registers an observer. Must be called before Start. A network
+// with taps always runs single-shard.
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 
 // ClearTaps removes all registered taps — the trial-reuse form: a worker
@@ -276,12 +336,14 @@ func (n *Network) Handler(id proto.NodeID) proto.Handler {
 	return n.nodes[id].handler
 }
 
-// Start initializes all handlers in node-ID order.
+// Start resolves the shard layout and initializes all handlers in
+// node-ID order.
 func (n *Network) Start() {
 	if n.started {
 		panic("sim: Network.Start called twice")
 	}
 	n.started = true
+	n.resolveShards()
 	for i := range n.nodes {
 		node := &n.nodes[i]
 		if node.handler == nil {
@@ -291,25 +353,46 @@ func (n *Network) Start() {
 	}
 	// Inject the seeded churn schedule through the event loop: the
 	// schedule is a pure function of (profile, N, seed), so a reset
-	// network replays the identical crash/rejoin sequence.
+	// network replays the identical crash/rejoin sequence. Each event is
+	// scheduled on its target node's shard, keyed to that engine's
+	// control stream — control events sort ahead of same-instant node
+	// events, preserving the crash-before-delivery order of the
+	// single-loop engine.
 	if n.opts.Netem != nil {
 		for _, ev := range n.opts.Netem.Churn.Events(len(n.nodes), n.opts.Seed) {
 			id := ev.Node
+			eng := n.nodes[id].eng
 			if ev.Up {
-				n.engine.Schedule(ev.At-n.engine.Now(), func() { n.Restore(id) })
+				eng.Schedule(ev.At-eng.Now(), func() { n.Restore(id) })
 			} else {
-				n.engine.Schedule(ev.At-n.engine.Now(), func() { n.Crash(id) })
+				eng.Schedule(ev.At-eng.Now(), func() { n.Crash(id) })
 			}
 		}
 	}
 }
 
 // Run drains the event queue (maxEvents ≤ 0: unbounded) and returns the
-// number of events executed.
-func (n *Network) Run(maxEvents uint64) uint64 { return n.engine.Run(maxEvents) }
+// number of events executed. Bounded runs require a single shard (an
+// event-count cutoff has no deterministic meaning across concurrent
+// loops).
+func (n *Network) Run(maxEvents uint64) uint64 {
+	if len(n.shards) > 1 {
+		if maxEvents > 0 {
+			panic("sim: bounded Run on a sharded network")
+		}
+		return n.runSharded(maxDuration)
+	}
+	return n.engine.Run(maxEvents)
+}
 
-// RunUntil executes events up to and including the given virtual time.
-func (n *Network) RunUntil(deadline time.Duration) uint64 { return n.engine.RunUntil(deadline) }
+// RunUntil executes events up to and including the given virtual time,
+// then advances every shard clock to it.
+func (n *Network) RunUntil(deadline time.Duration) uint64 {
+	if len(n.shards) > 1 {
+		return n.runSharded(deadline)
+	}
+	return n.engine.RunUntil(deadline)
+}
 
 // Originate injects a broadcast payload at the given node. The node's
 // handler must implement proto.Broadcaster.
@@ -323,11 +406,12 @@ func (n *Network) Originate(at proto.NodeID, payload []byte) (proto.MsgID, error
 }
 
 // InjectTimer schedules an immediate HandleTimer(payload) call at the
-// node through the event loop — a hook for tests and experiment drivers
-// to trigger handler actions without reaching into handler internals.
+// node through its shard's event loop — a hook for tests and experiment
+// drivers to trigger handler actions without reaching into handler
+// internals.
 func (n *Network) InjectTimer(id proto.NodeID, payload any) {
 	node := &n.nodes[id]
-	n.engine.Schedule(0, func() {
+	node.eng.Schedule(0, func() {
 		if node.crashed {
 			return
 		}
@@ -347,53 +431,63 @@ func (n *Network) Restore(id proto.NodeID) { n.nodes[id].crashed = false }
 func (n *Network) Crashed(id proto.NodeID) bool { return n.nodes[id].crashed }
 
 // TotalMessages returns the number of messages sent so far.
-func (n *Network) TotalMessages() int64 { return n.totalMsgs }
+func (n *Network) TotalMessages() int64 {
+	var t int64
+	for _, sh := range n.shards {
+		t += sh.totalMsgs
+	}
+	return t
+}
 
 // TotalBytes returns the number of payload bytes sent so far (0 unless a
 // codec was configured).
-func (n *Network) TotalBytes() int64 { return n.totalByte }
+func (n *Network) TotalBytes() int64 {
+	var t int64
+	for _, sh := range n.shards {
+		t += sh.totalByte
+	}
+	return t
+}
 
 // NetemDropped returns how many messages the netem profile's loss model
 // killed (0 without Options.Netem). Dropped messages are still counted
 // in the per-type and total tables — a message is counted when the
 // handler hands it to the network, matching the transport's tx
 // accounting.
-func (n *Network) NetemDropped() int64 { return n.netemDropped }
-
-// counter returns the accounting cell for a type, allocating its page on
-// first use.
-func (n *Network) counter(t proto.MsgType) *typeCounter {
-	page := n.counters[t>>8]
-	if page == nil {
-		page = new(counterPage)
-		n.counters[t>>8] = page
+func (n *Network) NetemDropped() int64 {
+	var t int64
+	for _, sh := range n.shards {
+		t += sh.netemDropped
 	}
-	return &page[t&0xff]
+	return t
 }
 
 // MessagesOfType returns the count of sent messages with the given type.
 func (n *Network) MessagesOfType(t proto.MsgType) int64 {
-	if page := n.counters[t>>8]; page != nil {
-		return page[t&0xff].msgs
+	var c int64
+	for _, sh := range n.shards {
+		if page := sh.counters[t>>8]; page != nil {
+			c += page[t&0xff].msgs
+		}
 	}
-	return 0
+	return c
 }
 
 // BytesOfType returns the byte count for one message type.
 func (n *Network) BytesOfType(t proto.MsgType) int64 {
-	if page := n.counters[t>>8]; page != nil {
-		return page[t&0xff].bytes
+	var c int64
+	for _, sh := range n.shards {
+		if page := sh.counters[t>>8]; page != nil {
+			c += page[t&0xff].bytes
+		}
 	}
-	return 0
+	return c
 }
 
 // ResetCounters zeroes message/byte counters (e.g. after warm-up).
 func (n *Network) ResetCounters() {
-	n.totalMsgs, n.totalByte, n.netemDropped = 0, 0, 0
-	for _, page := range n.counters {
-		if page != nil {
-			*page = counterPage{}
-		}
+	for _, sh := range n.shards {
+		sh.resetCounters()
 	}
 }
 
@@ -435,18 +529,26 @@ func (d *DeliverySet) All() iter.Seq2[proto.NodeID, time.Duration] {
 }
 
 // Delivered returns how many nodes have locally delivered the payload.
-func (n *Network) Delivered(id proto.MsgID) int { return n.deliveries[id].Count() }
+func (n *Network) Delivered(id proto.MsgID) int {
+	n.mergeDeliveries()
+	return n.deliveries[id].Count()
+}
 
 // DeliveryTime returns the first local-delivery time of id at node.
 func (n *Network) DeliveryTime(id proto.MsgID, node proto.NodeID) (time.Duration, bool) {
+	n.mergeDeliveries()
 	return n.deliveries[id].Time(node)
 }
 
 // Deliveries returns the delivery record for a payload (nil-safe: the
 // result is usable even for unknown IDs). The caller must not mutate it.
-func (n *Network) Deliveries(id proto.MsgID) *DeliverySet { return n.deliveries[id] }
+func (n *Network) Deliveries(id proto.MsgID) *DeliverySet {
+	n.mergeDeliveries()
+	return n.deliveries[id]
+}
 
-func (n *Network) recordDelivery(at time.Duration, node proto.NodeID, id proto.MsgID, payload []byte) {
+// deliverySet returns (creating if needed) the canonical record for id.
+func (n *Network) deliverySet(id proto.MsgID) *DeliverySet {
 	d := n.deliveries[id]
 	if d == nil {
 		times := make([]time.Duration, len(n.nodes))
@@ -456,19 +558,52 @@ func (n *Network) recordDelivery(at time.Duration, node proto.NodeID, id proto.M
 		d = &DeliverySet{times: times}
 		n.deliveries[id] = d
 	}
-	if d.times[node] >= 0 {
+	return d
+}
+
+// mergeDeliveries folds the shards' append-only delivery logs into the
+// canonical map. Within a shard the log is chronological and a node
+// belongs to exactly one shard, so "first entry wins" reproduces the
+// single-loop first-delivery record exactly; repeated merges are O(new
+// entries). Called from the read accessors — always between windows,
+// when every shard is idle.
+func (n *Network) mergeDeliveries() {
+	if len(n.shards) == 1 {
+		return
+	}
+	for _, sh := range n.shards {
+		for _, en := range sh.delivLog {
+			d := n.deliverySet(en.id)
+			if d.times[en.node] < 0 {
+				d.times[en.node] = en.at
+				d.count++
+			}
+		}
+		sh.delivLog = sh.delivLog[:0]
+	}
+}
+
+func (n *Network) recordDelivery(node *simNode, at time.Duration, id proto.MsgID, payload []byte) {
+	if len(n.shards) > 1 {
+		sh := node.shard
+		sh.delivLog = append(sh.delivLog, delivEntry{id: id, node: node.id, at: at})
+		return
+	}
+	d := n.deliverySet(id)
+	if d.times[node.id] >= 0 {
 		return // only first delivery counts
 	}
-	d.times[node] = at
+	d.times[node.id] = at
 	d.count++
 	for _, tap := range n.taps {
-		tap.OnDeliverLocal(at, node, id, payload)
+		tap.OnDeliverLocal(at, node.id, id, payload)
 	}
 }
 
 // linkSlot returns the FIFO arrival cell for the directed link from→to
 // — a CSR cell for topology edges, a per-node overflow entry otherwise
 // — plus the link's per-type netem stream counters (nil unless shaped).
+// Both cells belong to the sending node's shard.
 func (n *Network) linkSlot(from *simNode, to proto.NodeID) (at *time.Duration, streams *linkStream) {
 	lo, hi := n.linkOff[from.id], n.linkOff[from.id+1]
 	for i, d := range n.linkDst[lo:hi] {
@@ -493,18 +628,20 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 	if int(to) < 0 || int(to) >= len(n.nodes) {
 		panic(fmt.Sprintf("sim: node %d sent to invalid node %d", from.id, to))
 	}
-	n.totalMsgs++
-	c := n.counter(msg.Type())
+	sh := from.shard
+	sh.totalMsgs++
+	c := sh.counter(msg.Type())
 	c.msgs++
 	if n.opts.Codec != nil {
 		if enc, ok := msg.(wire.Encodable); ok {
 			size := int64(n.opts.Codec.Size(enc))
-			n.totalByte += size
+			sh.totalByte += size
 			c.bytes += size
 		}
 	}
+	now := from.eng.Now()
 	for _, tap := range n.taps {
-		tap.OnSend(n.engine.Now(), from.id, to, msg)
+		tap.OnSend(now, from.id, to, msg)
 	}
 	var delay time.Duration
 	slot, streams := n.linkSlot(from, to)
@@ -516,7 +653,7 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 		var drop bool
 		delay, drop = n.shaper.Decide(from.id, to, msg.Type(), seq)
 		if drop {
-			n.netemDropped++
+			sh.netemDropped++
 			return
 		}
 	} else {
@@ -526,25 +663,49 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 		delay = n.opts.Latency.Delay(from.id, to, n.latencyRNG)
 	}
 	// Clamp to per-link FIFO: a later send never overtakes an earlier one
-	// on the same directed link, matching TCP stream semantics.
-	arrival := n.engine.Now() + delay
+	// on the same directed link, matching TCP stream semantics. The clamp
+	// adjusts only the arrival time, never the ordering key, so it is
+	// transparent to shard-invariance.
+	arrival := now + delay
 	if *slot > arrival {
 		arrival = *slot
 	}
 	*slot = arrival
-	n.engine.scheduleDeliver(arrival-n.engine.Now(), &n.nodes[to], from.id, msg)
+	// The ordering key is pure provenance: who scheduled this send, and
+	// how many schedule calls came before it. A cross-shard delivery
+	// parked in the outbox sorts identically once pushed on the
+	// destination heap at the barrier.
+	from.schedSeq++
+	key := evKey{src: from.id, seq: from.schedSeq}
+	dst := &n.nodes[to]
+	if dst.shard == sh {
+		from.eng.scheduleDeliver(arrival, key, dst, from.id, msg)
+		return
+	}
+	sh.handoffs++
+	q := &sh.outQ[dst.shard.index]
+	*q = append(*q, remoteEvent{at: arrival, key: key, dst: to, src: from.id, msg: msg})
 }
 
 // simNode implements proto.Context for one simulated node. Nodes live in
 // one contiguous slice with their random source embedded, so building a
-// network performs O(1) allocations per node, not O(5).
+// network performs O(1) allocations per node, not O(5). Everything a
+// node touches during execution — RNG, timers, crash flag, outgoing
+// link FIFOs — is owned by its shard.
 type simNode struct {
 	net     *Network
+	eng     *Engine     // the node's shard engine (== net.engine unsharded)
+	shard   *shardState // the owning shard
 	id      proto.NodeID
 	pcg     rand.PCG
 	rand    rand.Rand
 	handler proto.Handler
 	crashed bool
+
+	// schedSeq counts this node's schedule calls (sends and timers) —
+	// the per-source ordering-key component that makes event order
+	// shard-invariant.
+	schedSeq uint32
 
 	nextTimer proto.TimerID
 	timers    map[proto.TimerID]Timer
@@ -557,7 +718,7 @@ var _ proto.Context = (*simNode)(nil)
 
 func (s *simNode) Self() proto.NodeID { return s.id }
 
-func (s *simNode) Now() time.Duration { return s.net.engine.Now() }
+func (s *simNode) Now() time.Duration { return s.eng.Now() }
 
 func (s *simNode) Rand() *rand.Rand { return &s.rand }
 
@@ -571,7 +732,7 @@ func (s *simNode) SetTimer(delay time.Duration, payload any) proto.TimerID {
 	if s.timers == nil {
 		s.timers = make(map[proto.TimerID]Timer, 8)
 	}
-	s.timers[id] = s.net.engine.scheduleTimer(delay, s, id, payload)
+	s.timers[id] = s.eng.scheduleTimer(delay, s, id, payload)
 	return id
 }
 
@@ -592,5 +753,5 @@ func (s *simNode) CancelTimer(id proto.TimerID) {
 }
 
 func (s *simNode) DeliverLocal(id proto.MsgID, payload []byte) {
-	s.net.recordDelivery(s.net.engine.Now(), s.id, id, payload)
+	s.net.recordDelivery(s, s.eng.Now(), id, payload)
 }

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/topology"
+)
+
+// Sharded execution: the node set splits into contiguous ID ranges
+// (topology.ShardBounds), each range owning a private Engine, and the
+// loops advance in lockstep windows under conservative lookahead — the
+// minimum possible link delay L. Each barrier round:
+//
+//  1. cross-shard deliveries parked in per-pair outboxes are pushed onto
+//     their destination heaps (every engine idle, so this is race-free);
+//  2. the globally earliest pending event time B is found;
+//  3. every shard executes its events with at < B+L concurrently.
+//
+// Safety: an event executing in the window can only schedule cross-shard
+// arrivals at ≥ B+L (its own time is ≥ B, the link adds ≥ L, and the
+// FIFO clamp only moves arrivals later), i.e. at or beyond the window's
+// exclusive bound — so no shard can receive a message that should have
+// sorted inside a window it already executed. Events at exactly B+L wait
+// for the next barrier because an arrival AT B+L may still be in flight
+// and must win a same-instant tie via the ordering key, not via
+// execution luck.
+//
+// Determinism: every event carries the shard-invariant key
+// (at, sat, src, seq) — fire time, schedule time, scheduling node,
+// per-node counter (see engine.go). The key is a total order and a pure
+// function of event provenance, so however deliveries are distributed
+// across heaps and outboxes, each node executes its events in exactly
+// the single-loop order, and all merged observables (counters: exact
+// integer sums; delivery sets: first-delivery unions over disjoint node
+// ranges) are bit-identical at any shard count.
+
+const maxDuration = time.Duration(math.MaxInt64)
+
+// remoteEvent is one cross-shard delivery parked in an outbox between
+// windows: the precomputed arrival time and ordering key plus the
+// delivery payload.
+type remoteEvent struct {
+	at  time.Duration
+	key evKey
+	dst proto.NodeID
+	src proto.NodeID
+	msg proto.Message
+}
+
+// delivEntry is one DeliverLocal record in a shard's append-only log,
+// merged into the canonical DeliverySet map between windows.
+type delivEntry struct {
+	id   proto.MsgID
+	node proto.NodeID
+	at   time.Duration
+}
+
+// shardState is everything one shard's goroutine owns during a window:
+// its engine, its node range, its accounting cells, its delivery log,
+// and its outboxes toward every other shard.
+type shardState struct {
+	index  int32
+	lo, hi int32 // node-ID range [lo, hi)
+	eng    *Engine
+
+	// Accounting (mirrors the pre-shard Network fields; summed on read).
+	counters     [256]*counterPage
+	totalMsgs    int64
+	totalByte    int64
+	netemDropped int64
+
+	// delivLog is the append-only DeliverLocal record (sharded runs
+	// only; single-shard networks write the canonical map directly).
+	delivLog []delivEntry
+
+	// outQ[j] holds deliveries destined for shard j, drained at the next
+	// barrier. outQ[index] stays empty.
+	outQ [][]remoteEvent
+
+	// Stats for -v diagnostics: windows executed, windows in which this
+	// shard had no eligible event (lookahead stalls), and cross-shard
+	// deliveries sent.
+	windows  uint64
+	stalls   uint64
+	handoffs uint64
+}
+
+// counter returns the shard's accounting cell for a type, allocating its
+// page on first use.
+func (sh *shardState) counter(t proto.MsgType) *typeCounter {
+	page := sh.counters[t>>8]
+	if page == nil {
+		page = new(counterPage)
+		sh.counters[t>>8] = page
+	}
+	return &page[t&0xff]
+}
+
+func (sh *shardState) resetCounters() {
+	sh.totalMsgs, sh.totalByte, sh.netemDropped = 0, 0, 0
+	for _, page := range sh.counters {
+		if page != nil {
+			*page = counterPage{}
+		}
+	}
+}
+
+// reset rewinds the shard for a fresh run, keeping engine arenas and
+// queue capacity.
+func (sh *shardState) reset() {
+	sh.eng.Reset()
+	sh.resetCounters()
+	sh.delivLog = sh.delivLog[:0]
+	for i := range sh.outQ {
+		sh.outQ[i] = sh.outQ[i][:0]
+	}
+	sh.windows, sh.stalls, sh.handoffs = 0, 0, 0
+}
+
+// ShardStats describes one shard's share of a run.
+type ShardStats struct {
+	Shard    int           // shard index
+	Nodes    int           // node count in the shard's range
+	Events   uint64        // events executed by the shard's engine
+	Windows  uint64        // barrier windows participated in
+	Stalls   uint64        // windows with no eligible event (lookahead stalls)
+	Handoffs uint64        // cross-shard deliveries sent
+	Clock    time.Duration // shard virtual clock (equal across shards between runs)
+}
+
+// ShardStats returns per-shard run statistics, indexed by shard.
+func (n *Network) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(n.shards))
+	for i, sh := range n.shards {
+		out[i] = ShardStats{
+			Shard:    i,
+			Nodes:    int(sh.hi - sh.lo),
+			Events:   sh.eng.Steps(),
+			Windows:  sh.windows,
+			Stalls:   sh.stalls,
+			Handoffs: sh.handoffs,
+			Clock:    sh.eng.Now(),
+		}
+	}
+	return out
+}
+
+// reserveCap bounds the per-shard heap pre-allocation: beyond this the
+// heap grows by doubling as before (Reserve is a hint, not a ceiling).
+const reserveCap = 1 << 18
+
+// resolveShards picks the effective shard count for this Start and
+// (re)builds the shard layout. Sharding engages only when it cannot
+// change observable behavior:
+//
+//   - no taps (they observe one globally ordered stream);
+//   - no DropRate (drop decisions draw from one shared RNG in send
+//     order);
+//   - a latency source with a positive minimum delay that never draws
+//     from shared state: netem hash-mode shapers qualify by
+//     construction, rng-mode models only via Lookaheader with ok=true;
+//   - at least as many nodes as shards.
+//
+// Everything else clamps to a single shard — the same events then run on
+// the same engine they always did.
+func (n *Network) resolveShards() {
+	k := n.opts.Shards
+	la := time.Duration(0)
+	ok := k > 1 && len(n.taps) == 0 && n.opts.DropRate == 0 && len(n.nodes) >= k
+	if ok {
+		if n.shaper != nil {
+			la = n.opts.Netem.MinDelay()
+		} else if lh, isLH := n.opts.Latency.(Lookaheader); isLH {
+			la, ok = lh.ShardLookahead()
+		} else {
+			ok = false
+		}
+		if la <= 0 {
+			ok = false
+		}
+	}
+	if !ok {
+		k, la = 1, 0
+	}
+	n.lookahead = la
+	n.buildShards(k)
+	// Pre-size each heap for the expected concurrent event population:
+	// every in-range node with one in-flight message per link is the
+	// flood worst case, so nodes/k × (avg degree + 1) is the right
+	// order; the cap keeps small trial networks cheap.
+	perShard := (len(n.nodes)/k + 1) * (int(n.topo.AvgDegree()) + 1)
+	if perShard > reserveCap {
+		perShard = reserveCap
+	}
+	for _, sh := range n.shards {
+		sh.eng.Reserve(perShard)
+	}
+}
+
+// buildShards lays out k shards over the node ranges, reusing cached
+// engines (and their arenas) across Reset/Start cycles and shard-count
+// changes. Shard 0 always owns n.engine.
+func (n *Network) buildShards(k int) {
+	if len(n.shards) == k {
+		// Same layout as last run: shards were reset, nodes keep their
+		// assignment.
+		return
+	}
+	for len(n.engCache) < k {
+		n.engCache = append(n.engCache, NewEngine())
+	}
+	bounds := topology.ShardBounds(len(n.nodes), k)
+	n.shards = make([]*shardState, k)
+	for i := 0; i < k; i++ {
+		n.shards[i] = &shardState{
+			index: int32(i),
+			lo:    bounds[i],
+			hi:    bounds[i+1],
+			eng:   n.engCache[i],
+			outQ:  make([][]remoteEvent, k),
+		}
+	}
+	for i := range n.nodes {
+		node := &n.nodes[i]
+		sh := n.shards[topology.ShardOf(node.id, len(n.nodes), k)]
+		node.eng = sh.eng
+		node.shard = sh
+	}
+}
+
+// drainOutboxes pushes every parked cross-shard delivery onto its
+// destination heap. Runs between windows with all engines idle; insertion
+// order is irrelevant because the heap orders by the full event key.
+func (n *Network) drainOutboxes() {
+	for _, sh := range n.shards {
+		for j, q := range sh.outQ {
+			if len(q) == 0 {
+				continue
+			}
+			eng := n.shards[j].eng
+			for _, re := range q {
+				eng.scheduleDeliver(re.at, re.key, &n.nodes[re.dst], re.src, re.msg)
+			}
+			sh.outQ[j] = q[:0]
+		}
+	}
+}
+
+// runSharded drives the barrier loop until no event at or before
+// deadline remains, then advances every shard clock to the deadline
+// (mirroring the single-loop RunUntil contract; a drain-everything Run
+// passes maxDuration and clocks settle at the last event time). Returns
+// the number of events executed.
+func (n *Network) runSharded(deadline time.Duration) uint64 {
+	var total uint64
+	for {
+		n.drainOutboxes()
+		minNext := maxDuration
+		for _, sh := range n.shards {
+			if at, ok := sh.eng.nextAt(); ok && at < minNext {
+				minNext = at
+			}
+		}
+		if minNext == maxDuration || minNext > deadline {
+			break
+		}
+		// The window's exclusive bound: B+L, saturating, and never past
+		// the (inclusive) deadline — events at exactly the deadline run,
+		// so the bound is deadline+1 when that is expressible.
+		horizon := minNext + n.lookahead
+		if horizon < minNext {
+			horizon = maxDuration
+		}
+		if limit := deadline; limit < maxDuration {
+			if horizon > limit+1 {
+				horizon = limit + 1
+			}
+		}
+		total += n.runWindow(horizon)
+	}
+	// Synchronize clocks so post-run scheduling (Originate, InjectTimer,
+	// the next RunUntil) keys off one well-defined time at every shard.
+	syncTo := deadline
+	if syncTo == maxDuration {
+		syncTo = 0
+		for _, sh := range n.shards {
+			if now := sh.eng.Now(); now > syncTo {
+				syncTo = now
+			}
+		}
+	}
+	for _, sh := range n.shards {
+		if syncTo > sh.eng.now {
+			sh.eng.now = syncTo
+		}
+	}
+	return total
+}
+
+// runWindow executes one barrier window [·, horizon) on every shard
+// concurrently and returns the number of events executed.
+func (n *Network) runWindow(horizon time.Duration) uint64 {
+	ran := make([]uint64, len(n.shards))
+	var wg sync.WaitGroup
+	for i, sh := range n.shards[1:] {
+		wg.Add(1)
+		go func(slot *uint64, sh *shardState) {
+			defer wg.Done()
+			*slot = sh.eng.runBefore(horizon)
+		}(&ran[i+1], sh)
+	}
+	ran[0] = n.shards[0].eng.runBefore(horizon)
+	wg.Wait()
+	var total uint64
+	for i, sh := range n.shards {
+		sh.windows++
+		if ran[i] == 0 {
+			sh.stalls++
+		}
+		total += ran[i]
+	}
+	return total
+}

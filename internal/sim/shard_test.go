@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/flood"
+	"repro/internal/netem"
+	"repro/internal/proto"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// shardTestShape: 203 nodes so every tested shard count splits the ID
+// space unevenly (203 = 7·29 is divisible by 7 but not by 2 or 4), and
+// degree 8 as everywhere else.
+func shardTestGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.RandomRegular(203, 8, testBenchRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// shardFingerprint floods one payload over g at the given options and
+// returns the full observable fingerprint plus the shard count the
+// network actually resolved to.
+func shardFingerprint(t *testing.T, g *topology.Graph, opts Options) (runFingerprint, int) {
+	t.Helper()
+	codec := wire.NewCodec()
+	flood.RegisterMessages(codec)
+	opts.Codec = codec
+	net := NewNetwork(g, opts)
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+	net.Start()
+	id, err := net.Originate(3, []byte("shard probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	fp := runFingerprint{
+		totalMsgs:  net.TotalMessages(),
+		totalBytes: net.TotalBytes(),
+		typeMsgs:   net.MessagesOfType(flood.TypeData),
+		typeBytes:  net.BytesOfType(flood.TypeData),
+		steps:      net.Steps(),
+		delivered:  net.Delivered(id),
+	}
+	for _, at := range net.Deliveries(id).All() {
+		fp.times = append(fp.times, at)
+	}
+	return fp, net.ShardCount()
+}
+
+func compareFingerprints(t *testing.T, name string, a, b runFingerprint) {
+	t.Helper()
+	if a.totalMsgs != b.totalMsgs || a.totalBytes != b.totalBytes ||
+		a.typeMsgs != b.typeMsgs || a.typeBytes != b.typeBytes ||
+		a.steps != b.steps || a.delivered != b.delivered ||
+		len(a.times) != len(b.times) {
+		t.Fatalf("%s: fingerprints diverged:\n%+v\nvs\n%+v", name, a, b)
+	}
+	for i := range a.times {
+		if a.times[i] != b.times[i] {
+			t.Fatalf("%s: delivery time %d diverged: %v vs %v", name, i, a.times[i], b.times[i])
+		}
+	}
+}
+
+// TestShardedDeterminism is the headline guarantee of the sharded event
+// loop: every observable — counters, per-type accounting, executed
+// steps, the full per-node delivery-time vector — is bit-identical at
+// ANY shard count, for both the rng-mode const-latency path and the
+// shaped netem path (jitter, loss-free churn), whose hash-based draws
+// are position-independent by construction.
+func TestShardedDeterminism(t *testing.T) {
+	g := shardTestGraph(t)
+	arms := []struct {
+		name string
+		opts Options
+	}{
+		{"const-latency", Options{Seed: 42, Latency: ConstLatency(50 * time.Millisecond)}},
+		{"netem-shaped", Options{Seed: 42, Netem: &netem.Profile{
+			Latency: netem.Const(20 * time.Millisecond),
+			Jitter:  netem.Uniform{Hi: 15 * time.Millisecond},
+		}}},
+		{"netem-churn", Options{Seed: 42, Netem: &netem.Profile{
+			Latency: netem.Const(20 * time.Millisecond),
+			Jitter:  netem.Uniform{Hi: 15 * time.Millisecond},
+			Churn:   netem.Churn{Fraction: 0.1, Start: 10 * time.Millisecond, Down: 50 * time.Millisecond},
+		}}},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			base, k := shardFingerprint(t, g, arm.opts)
+			if k != 1 {
+				t.Fatalf("unsharded run resolved to %d shards", k)
+			}
+			if base.delivered == 0 || base.totalMsgs == 0 {
+				t.Fatalf("degenerate baseline run: %+v", base)
+			}
+			for _, shards := range []int{1, 2, 4, 7} {
+				opts := arm.opts
+				opts.Shards = shards
+				fp, k := shardFingerprint(t, g, opts)
+				if shards > 1 && k != shards {
+					t.Errorf("requested %d shards, resolved %d (expected eligible)", shards, k)
+				}
+				compareFingerprints(t, arm.name, base, fp)
+			}
+		})
+	}
+}
+
+// nopTap is the cheapest possible observer — registering it must still
+// pin the network to one shard.
+type nopTap struct{}
+
+func (nopTap) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message)  {}
+func (nopTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+
+// TestShardedClampsToSingleLoop pins the eligibility rules: any
+// configuration whose draws depend on global event order (shared-RNG
+// jitter, drop decisions) or that observes the global stream (taps)
+// must fall back to the single event loop rather than shard unsafely.
+func TestShardedClampsToSingleLoop(t *testing.T) {
+	g := shardTestGraph(t)
+
+	cases := []struct {
+		name string
+		opts Options
+		prep func(*Network)
+	}{
+		{"uniform-latency-shared-rng", Options{Seed: 1, Shards: 4,
+			Latency: UniformLatency{Min: 5 * time.Millisecond, Max: 40 * time.Millisecond}}, nil},
+		{"drop-rate", Options{Seed: 1, Shards: 4,
+			Latency: ConstLatency(50 * time.Millisecond), DropRate: 0.05}, nil},
+		{"taps", Options{Seed: 1, Shards: 4,
+			Latency: ConstLatency(50 * time.Millisecond)},
+			func(n *Network) { n.AddTap(nopTap{}) }},
+		{"more-shards-than-nodes", Options{Seed: 1, Shards: 500,
+			Latency: ConstLatency(50 * time.Millisecond)}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := NewNetwork(g, tc.opts)
+			net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+			if tc.prep != nil {
+				tc.prep(net)
+			}
+			net.Start()
+			if k := net.ShardCount(); k != 1 {
+				t.Fatalf("config %s sharded into %d loops; must clamp to 1", tc.name, k)
+			}
+		})
+	}
+}
+
+// TestShardedResetEqualsFresh extends the trial-loop reuse contract to
+// sharded networks: a Reset sharded network must replay exactly like a
+// fresh one, and like the single-loop run of the same seed — including
+// across a change in requested shard count.
+func TestShardedResetEqualsFresh(t *testing.T) {
+	g := shardTestGraph(t)
+	codec := wire.NewCodec()
+	flood.RegisterMessages(codec)
+	opts := Options{Seed: 42, Latency: ConstLatency(50 * time.Millisecond), Codec: codec, Shards: 4}
+
+	run := func(net *Network) runFingerprint {
+		t.Helper()
+		net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+		net.Start()
+		id, err := net.Originate(3, []byte("shard probe"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		fp := runFingerprint{
+			totalMsgs: net.TotalMessages(), totalBytes: net.TotalBytes(),
+			typeMsgs: net.MessagesOfType(flood.TypeData), typeBytes: net.BytesOfType(flood.TypeData),
+			steps: net.Steps(), delivered: net.Delivered(id),
+		}
+		for _, at := range net.Deliveries(id).All() {
+			fp.times = append(fp.times, at)
+		}
+		return fp
+	}
+
+	fresh := run(NewNetwork(g, opts))
+
+	reused := NewNetwork(g, opts)
+	_ = run(reused)
+	reused.Reset(42)
+	reset := run(reused)
+	compareFingerprints(t, "sharded reset vs fresh", fresh, reset)
+
+	// The same network, reset and re-run single-loop, must still match:
+	// the shard split is pure execution strategy.
+	single := NewNetwork(g, Options{Seed: 42, Latency: ConstLatency(50 * time.Millisecond), Codec: codec})
+	compareFingerprints(t, "sharded vs single-loop", fresh, run(single))
+}

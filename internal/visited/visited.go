@@ -26,9 +26,13 @@ import (
 )
 
 // Vec is the dense state of one message: one value cell and one epoch
-// stamp per node. Obtain Vecs from a Table; the zero Vec is invalid.
+// stamp per node in the owning Table's range. Obtain Vecs from a Table;
+// the zero Vec is invalid. Accessing a node outside the Table's range
+// panics — under the sharded event loop that is a partition-alignment
+// bug, not a recoverable condition.
 type Vec[T any] struct {
 	epoch  uint32
+	lo     proto.NodeID // owning table's range base
 	stamps []uint32
 	vals   []T
 }
@@ -36,13 +40,13 @@ type Vec[T any] struct {
 // Has reports whether the node's cell was set since the vector was last
 // (re)bound to a message.
 func (v *Vec[T]) Has(node proto.NodeID) bool {
-	return v.stamps[node] == v.epoch
+	return v.stamps[node-v.lo] == v.epoch
 }
 
 // Get returns the node's value and whether it was set this epoch.
 func (v *Vec[T]) Get(node proto.NodeID) (T, bool) {
-	if v.stamps[node] == v.epoch {
-		return v.vals[node], true
+	if v.stamps[node-v.lo] == v.epoch {
+		return v.vals[node-v.lo], true
 	}
 	var zero T
 	return zero, false
@@ -52,19 +56,19 @@ func (v *Vec[T]) Get(node proto.NodeID) (T, bool) {
 // It reports whether the cell was previously unset (i.e. the first Set
 // for this node and message).
 func (v *Vec[T]) Set(node proto.NodeID, val T) bool {
-	first := v.stamps[node] != v.epoch
-	v.stamps[node] = v.epoch
-	v.vals[node] = val
+	first := v.stamps[node-v.lo] != v.epoch
+	v.stamps[node-v.lo] = v.epoch
+	v.vals[node-v.lo] = val
 	return first
 }
 
 // Mark stamps the node's cell without touching the value — the pure
 // seen-set operation. It reports whether the cell was previously unset.
 func (v *Vec[T]) Mark(node proto.NodeID) bool {
-	if v.stamps[node] == v.epoch {
+	if v.stamps[node-v.lo] == v.epoch {
 		return false
 	}
-	v.stamps[node] = v.epoch
+	v.stamps[node-v.lo] = v.epoch
 	return true
 }
 
@@ -72,21 +76,31 @@ func (v *Vec[T]) Mark(node proto.NodeID) bool {
 // recycling vectors through a free list so that steady-state operation —
 // including Reset between trials — allocates nothing.
 type Table[T any] struct {
+	lo   int // range base: the table covers node IDs [lo, lo+n)
 	n    int
 	live map[proto.MsgID]*Vec[T]
 	free []*Vec[T]
 }
 
 // NewTable returns a Table sized for node IDs in [0, n).
-func NewTable[T any](n int) *Table[T] {
-	if n <= 0 {
-		panic(fmt.Sprintf("visited: table size %d", n))
+func NewTable[T any](n int) *Table[T] { return NewTableRange[T](0, n) }
+
+// NewTableRange returns a Table covering node IDs [lo, hi) — the
+// per-shard form: each shard of a partitioned network owns a range table
+// over exactly its node range, so the partition's total memory matches
+// one full-range table and no two shards ever touch the same cell.
+func NewTableRange[T any](lo, hi int) *Table[T] {
+	if lo < 0 || hi <= lo {
+		panic(fmt.Sprintf("visited: table range [%d,%d)", lo, hi))
 	}
-	return &Table[T]{n: n, live: make(map[proto.MsgID]*Vec[T])}
+	return &Table[T]{lo: lo, n: hi - lo, live: make(map[proto.MsgID]*Vec[T])}
 }
 
-// N returns the node count the table was sized for.
+// N returns the node count the table was sized for (the range width).
 func (t *Table[T]) N() int { return t.n }
+
+// Lo returns the first node ID the table covers.
+func (t *Table[T]) Lo() int { return t.lo }
 
 // Lookup returns the message's vector, or nil if the message has no
 // state yet.
@@ -105,7 +119,7 @@ func (t *Table[T]) Vec(id proto.MsgID) *Vec[T] {
 		t.free[n-1] = nil
 		t.free = t.free[:n-1]
 	} else {
-		v = &Vec[T]{stamps: make([]uint32, t.n), vals: make([]T, t.n)}
+		v = &Vec[T]{lo: proto.NodeID(t.lo), stamps: make([]uint32, t.n), vals: make([]T, t.n)}
 	}
 	v.rebind()
 	t.live[id] = v
