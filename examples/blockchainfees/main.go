@@ -115,7 +115,8 @@ func main() {
 // through transport.Config.OnDeliver).
 type feeder struct{ nodes []*node.Node }
 
-func (f feeder) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (f feeder) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message)    {}
+func (f feeder) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
 func (f feeder) OnDeliverLocal(_ time.Duration, n proto.NodeID, _ proto.MsgID, payload []byte) {
 	f.nodes[n].OnDeliver(payload)
 }

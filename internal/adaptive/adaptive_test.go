@@ -22,7 +22,8 @@ func (t *tokenTap) OnSend(_ time.Duration, _, to proto.NodeID, msg proto.Message
 	}
 }
 
-func (*tokenTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+func (*tokenTap) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (*tokenTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)    {}
 
 func adaptiveNetwork(t *testing.T, g *topology.Graph, cfg Config, seed uint64) (*sim.Network, *tokenTap) {
 	t.Helper()

@@ -7,6 +7,7 @@
 package adversary
 
 import (
+	"math"
 	"math/rand/v2"
 	"sort"
 	"time"
@@ -19,8 +20,10 @@ import (
 	"repro/internal/topology"
 )
 
-// Observation is one adversarial sighting: an honest node handed a
-// protocol message to a node the adversary controls.
+// Observation is one adversarial sighting: a protocol message from an
+// honest node arrived at a node the adversary controls. At is the
+// arrival time — the moment the spy's handler would run, with the
+// link's shaped delay applied.
 type Observation struct {
 	At   time.Duration
 	Spy  proto.NodeID // the adversarial receiver
@@ -50,9 +53,11 @@ func NewObserver(corrupted []proto.NodeID) *Observer {
 }
 
 // SampleCorrupted picks ⌊f·n⌋ distinct nodes uniformly at random —
-// the botnet-style adversary of [12].
+// the botnet-style adversary of [12]. The epsilon before flooring
+// absorbs binary-representation error in f·n: 0.3×10 evaluates to
+// 2.9999…96 in float64, and a bare int() would seat 2 spies, not 3.
 func SampleCorrupted(n int, f float64, rng *rand.Rand) []proto.NodeID {
-	count := int(f * float64(n))
+	count := int(math.Floor(f*float64(n) + 1e-9))
 	perm := rng.Perm(n)
 	out := make([]proto.NodeID, 0, count)
 	for _, v := range perm[:count] {
@@ -70,9 +75,24 @@ func (o *Observer) CorruptedCount() int { return len(o.corrupt) }
 // Observations returns the sightings for a message in arrival order.
 func (o *Observer) Observations(id proto.MsgID) []Observation { return o.obs[id] }
 
-// OnSend implements sim.Tap: record messages from honest nodes into
-// corrupted ones, keyed by the payload ID carried in the message.
-func (o *Observer) OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message) {
+// Reset clears every recorded observation and re-corrupts the given
+// nodes, so one Observer (and its maps) can be reused across trials by
+// a runner worker alongside Network.Reset/ClearTaps.
+func (o *Observer) Reset(corrupted []proto.NodeID) {
+	clear(o.corrupt)
+	clear(o.obs)
+	for _, n := range corrupted {
+		o.corrupt[n] = true
+	}
+}
+
+// OnReceive implements sim.Tap: record messages from honest nodes that
+// arrive at corrupted ones, keyed by the payload ID carried in the
+// message. Recording at delivery time is load-bearing: the spy only
+// sees messages the network actually delivered, at timestamps that
+// include the link's latency and jitter — what a listening node on the
+// real network would log.
+func (o *Observer) OnReceive(at time.Duration, from, to proto.NodeID, msg proto.Message) {
 	if !o.corrupt[to] || o.corrupt[from] {
 		return
 	}
@@ -82,6 +102,12 @@ func (o *Observer) OnSend(at time.Duration, from, to proto.NodeID, msg proto.Mes
 	}
 	o.obs[id] = append(o.obs[id], Observation{At: at, Spy: to, From: from, Kind: msg.Type()})
 }
+
+// OnSend implements sim.Tap (unused): send-side events fire before the
+// shaper's drop decision and carry unshaped timestamps, so recording
+// them would credit the spy with sightings of messages that never
+// arrived.
+func (*Observer) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
 
 // OnDeliverLocal implements sim.Tap (unused).
 func (*Observer) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
@@ -197,6 +223,15 @@ func (t *Timing) Estimate(obs []Observation, candidates []proto.NodeID) (proto.N
 		}
 		mean := sum / float64(n)
 		variance := sumSq/float64(n) - mean*mean
+		if variance < 0 {
+			// sumSq/n and mean² are both ~mean² for tightly clustered
+			// residuals, and their difference is dominated by rounding
+			// once |mean| is large (catastrophic cancellation). A
+			// negative "variance" here would poison the tolerance below
+			// (tol = bestScore·0.001 + floor turns negative), shrinking
+			// the anonymity set to zero. True variance is ≥ 0; clamp.
+			variance = 0
+		}
 		scores[i] = variance
 		if best == proto.NoNode || variance < bestScore {
 			best, bestScore = cand, variance
@@ -214,11 +249,39 @@ func (t *Timing) Estimate(obs []Observation, candidates []proto.NodeID) (proto.N
 	return best, anon
 }
 
+// GroupSuspects implements the group-level collusion attack on the
+// composed protocol (§V): the DC-net hides the originator only from
+// outsiders, so when the adversary controls at least one member of the
+// originating group it sees the group's Phase-1 activity from inside
+// and the suspect set collapses to the group's honest members. An
+// untapped group yields no suspects — the adversary has to fall back to
+// traffic analysis of the later phases, which start at the virtual
+// source, not the originator. This is the worst case for the paper's
+// 1/k bound: a tapped group of size k with one spy leaves k−1 suspects.
+func GroupSuspects(group []proto.NodeID, corrupted func(proto.NodeID) bool) (honest []proto.NodeID, tapped bool) {
+	for _, m := range group {
+		if corrupted(m) {
+			tapped = true
+		} else {
+			honest = append(honest, m)
+		}
+	}
+	if !tapped {
+		return nil, false
+	}
+	return honest, true
+}
+
 // Aggregate accumulates per-trial attack outcomes into the
-// precision/anonymity-set numbers the experiments report.
+// precision/recall/anonymity-set numbers the experiments report.
+// Precision is the expected success probability of the adversary's
+// single guess; recall is the fraction of trials where the true
+// originator was in the suspect set at all (for point estimates the
+// two coincide).
 type Aggregate struct {
 	Trials  int
 	hitProb float64
+	hitSet  float64
 	anonSum float64
 }
 
@@ -227,6 +290,7 @@ func (a *Aggregate) AddExact(truth, suspect proto.NodeID) {
 	a.Trials++
 	if truth == suspect {
 		a.hitProb++
+		a.hitSet++
 	}
 	a.anonSum++
 }
@@ -243,6 +307,7 @@ func (a *Aggregate) AddSet(truth proto.NodeID, suspects []proto.NodeID) {
 	for _, s := range suspects {
 		if s == truth {
 			a.hitProb += 1 / float64(len(suspects))
+			a.hitSet++
 			break
 		}
 	}
@@ -255,6 +320,15 @@ func (a *Aggregate) Precision() float64 {
 		return 0
 	}
 	return a.hitProb / float64(a.Trials)
+}
+
+// Recall returns the fraction of trials whose suspect set contained
+// the true originator.
+func (a *Aggregate) Recall() float64 {
+	if a.Trials == 0 {
+		return 0
+	}
+	return a.hitSet / float64(a.Trials)
 }
 
 // MeanAnonymitySet returns the mean suspect-set size.

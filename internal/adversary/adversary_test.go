@@ -13,19 +13,40 @@ import (
 )
 
 func TestSampleCorrupted(t *testing.T) {
-	rng := rand.New(rand.NewPCG(1, 2))
-	got := SampleCorrupted(100, 0.2, rng)
-	if len(got) != 20 {
-		t.Fatalf("corrupted %d nodes, want 20", len(got))
+	// ⌊f·n⌋ for awkward (f, n) pairs: several of these products are not
+	// exactly representable (0.3×10 = 2.9999…96 in float64) and a bare
+	// int() truncation under-seats the adversary by one.
+	cases := []struct {
+		n    int
+		f    float64
+		want int
+	}{
+		{100, 0.2, 20},
+		{10, 0.3, 3},
+		{10, 0.7, 7},
+		{1000, 0.3, 300},
+		{96, 0.05, 4},
+		{96, 0.1, 9},
+		{96, 0.2, 19},
+		{7, 0.49, 3},
+		{50, 0, 0},
+		{3, 0.99, 2},
 	}
-	seen := make(map[proto.NodeID]bool)
-	for _, n := range got {
-		if seen[n] {
-			t.Fatalf("duplicate corrupted node %d", n)
+	for _, c := range cases {
+		rng := rand.New(rand.NewPCG(1, 2))
+		got := SampleCorrupted(c.n, c.f, rng)
+		if len(got) != c.want {
+			t.Errorf("SampleCorrupted(%d, %v) seated %d spies, want %d", c.n, c.f, len(got), c.want)
 		}
-		seen[n] = true
-		if n < 0 || n >= 100 {
-			t.Fatalf("node %d out of range", n)
+		seen := make(map[proto.NodeID]bool)
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("duplicate corrupted node %d", id)
+			}
+			seen[id] = true
+			if id < 0 || id >= proto.NodeID(c.n) {
+				t.Fatalf("node %d out of range", id)
+			}
 		}
 	}
 }
@@ -146,6 +167,68 @@ func TestTimingEstimatorFindsFloodSource(t *testing.T) {
 	}
 }
 
+func TestTimingVarianceNonNegative(t *testing.T) {
+	// Hours-scale arrival times with mathematically identical residuals:
+	// sumSq/n − mean² is a difference of two ~10²⁶ numbers whose true
+	// gap is zero, so rounding decides the sign. Before the clamp a
+	// negative "variance" flipped the anonymity-set tolerance negative
+	// and excluded even the best candidate from its own set. Sweep many
+	// magnitudes so at least some land on the bad rounding side.
+	g, err := topology.RegularTree(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &Timing{Topo: g, HopLatency: 10 * time.Millisecond}
+	for i := 0; i < 500; i++ {
+		at := time.Duration(1<<44 + i<<33) // ~4.9h base, ~8.6s steps
+		obs := []Observation{
+			{At: at, Spy: 1, From: 0},
+			{At: at, Spy: 2, From: 0},
+			{At: at, Spy: 3, From: 0},
+		}
+		best, anon := est.Estimate(obs, []proto.NodeID{0})
+		if best != 0 {
+			t.Fatalf("at=%v: best = %d, want 0", at, best)
+		}
+		if anon != 1 {
+			t.Fatalf("at=%v: anonymity set = %d, want 1 — the best candidate fell out of its own set", at, anon)
+		}
+	}
+}
+
+func TestGroupSuspects(t *testing.T) {
+	corrupt := func(id proto.NodeID) bool { return id == 2 }
+	honest, tapped := GroupSuspects([]proto.NodeID{1, 2, 3, 4}, corrupt)
+	if !tapped {
+		t.Fatal("group containing a spy reported untapped")
+	}
+	if len(honest) != 3 || honest[0] != 1 || honest[1] != 3 || honest[2] != 4 {
+		t.Fatalf("honest suspects = %v, want [1 3 4]", honest)
+	}
+	if honest, tapped = GroupSuspects([]proto.NodeID{5, 6}, corrupt); tapped || honest != nil {
+		t.Fatalf("spy-free group: suspects=%v tapped=%v, want none", honest, tapped)
+	}
+	// A fully corrupted group is tapped with an empty suspect set: the
+	// adversary knows the originator is one of its own.
+	if honest, tapped = GroupSuspects([]proto.NodeID{2}, corrupt); !tapped || len(honest) != 0 {
+		t.Fatalf("all-spy group: suspects=%v tapped=%v, want empty+tapped", honest, tapped)
+	}
+}
+
+func TestAggregateRecall(t *testing.T) {
+	a := &Aggregate{}
+	a.AddExact(5, 5)                  // hit
+	a.AddExact(5, 7)                  // miss
+	a.AddSet(5, []proto.NodeID{1, 5}) // in-set, guessed with prob 1/2
+	a.AddSet(5, []proto.NodeID{1, 2}) // out of set
+	if got, want := a.Precision(), (1+0.5)/4; got != want {
+		t.Errorf("Precision = %v, want %v", got, want)
+	}
+	if got, want := a.Recall(), 2/4.0; got != want {
+		t.Errorf("Recall = %v, want %v", got, want)
+	}
+}
+
 func TestAggregateSetAccounting(t *testing.T) {
 	a := &Aggregate{}
 	a.AddSet(5, []proto.NodeID{1, 5, 9, 13}) // hit with prob 1/4
@@ -163,12 +246,18 @@ func TestObserverIgnoresAdversaryInternalTraffic(t *testing.T) {
 	o := NewObserver([]proto.NodeID{1, 2})
 	id := proto.NewMsgID([]byte("x"))
 	msg := &flood.DataMsg{ID: id}
-	o.OnSend(time.Millisecond, 1, 2, msg) // corrupt → corrupt: internal
-	o.OnSend(time.Millisecond, 3, 4, msg) // honest → honest: invisible
+	o.OnReceive(time.Millisecond, 1, 2, msg) // corrupt → corrupt: internal
+	o.OnReceive(time.Millisecond, 3, 4, msg) // honest → honest: invisible
 	if len(o.Observations(id)) != 0 {
 		t.Error("internal or honest-only traffic observed")
 	}
-	o.OnSend(2*time.Millisecond, 3, 1, msg)
+	// Send-side events are not observations: they fire before the drop
+	// decision, so the Observer must ignore them entirely.
+	o.OnSend(time.Millisecond, 3, 1, msg)
+	if len(o.Observations(id)) != 0 {
+		t.Error("send-side event recorded as an observation")
+	}
+	o.OnReceive(2*time.Millisecond, 3, 1, msg)
 	if len(o.Observations(id)) != 1 {
 		t.Error("honest-to-corrupt traffic missed")
 	}
@@ -183,8 +272,8 @@ func TestObserverIgnoresAdversaryInternalTraffic(t *testing.T) {
 func TestFirstSpyOfKinds(t *testing.T) {
 	o := NewObserver([]proto.NodeID{9})
 	id := proto.NewMsgID([]byte("k"))
-	o.OnSend(1*time.Millisecond, 2, 9, &dandelion.StemMsg{ID: id})
-	o.OnSend(2*time.Millisecond, 3, 9, &flood.DataMsg{ID: id})
+	o.OnReceive(1*time.Millisecond, 2, 9, &dandelion.StemMsg{ID: id})
+	o.OnReceive(2*time.Millisecond, 3, 9, &flood.DataMsg{ID: id})
 	if got := FirstSpyOfKinds(o.Observations(id), flood.TypeData); got != 3 {
 		t.Errorf("flood-only first spy = %d, want 3", got)
 	}

@@ -93,7 +93,8 @@ func (p *phaseTap) OnSend(at time.Duration, _, _ proto.NodeID, msg proto.Message
 		mark(&p.firstFlood)
 	}
 }
-func (*phaseTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+func (*phaseTap) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (*phaseTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)    {}
 
 func TestEndToEndDelivery(t *testing.T) {
 	g := testGraph(t, 100, 8, 1)
@@ -318,6 +319,11 @@ func (m multiTap) OnSend(at time.Duration, from, to proto.NodeID, msg proto.Mess
 		t.OnSend(at, from, to, msg)
 	}
 }
+func (m multiTap) OnReceive(at time.Duration, from, to proto.NodeID, msg proto.Message) {
+	for _, t := range m {
+		t.OnReceive(at, from, to, msg)
+	}
+}
 func (m multiTap) OnDeliverLocal(at time.Duration, node proto.NodeID, id proto.MsgID, payload []byte) {
 	for _, t := range m {
 		t.OnDeliverLocal(at, node, id, payload)
@@ -330,7 +336,8 @@ type sendTapFunc func(at time.Duration, from, to proto.NodeID, msg proto.Message
 func (f sendTapFunc) OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message) {
 	f(at, from, to, msg)
 }
-func (sendTapFunc) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+func (sendTapFunc) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (sendTapFunc) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)    {}
 
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Group: []proto.NodeID{1, 2}, Hashes: nil}); !errors.Is(err, ErrMissingHash) {

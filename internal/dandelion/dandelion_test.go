@@ -58,7 +58,8 @@ func (s *stemTap) OnSend(_ time.Duration, _, _ proto.NodeID, msg proto.Message) 
 		s.fluffSeen = true
 	}
 }
-func (*stemTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+func (*stemTap) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (*stemTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)    {}
 
 func TestStemLengthGeometric(t *testing.T) {
 	// With fluff probability q the stem length is geometric with mean

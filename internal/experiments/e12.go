@@ -45,7 +45,8 @@ func (p *phaseTracer) OnSend(at time.Duration, _, _ proto.NodeID, msg proto.Mess
 	s.count++
 }
 
-func (*phaseTracer) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+func (*phaseTracer) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (*phaseTracer) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)    {}
 
 // E12PhaseTrace traces one broadcast through the three phases of Fig. 5:
 // the k-sized DC-net clique, the depth-d diffusion tree, and the final

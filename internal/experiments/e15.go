@@ -47,6 +47,60 @@ func e15Condition(name string, loss, churn float64) netem.Profile {
 	return p
 }
 
+// protocolStack builds the handler factory for one of the four
+// protocol stacks of the robustness and anonymity sweeps. E15 and E16
+// share it so both experiments measure exactly the same protocol
+// configurations — E15 their coverage under impairment, E16 the
+// anonymity they buy under the same conditions.
+func protocolStack(name string, deg int, hashes map[proto.NodeID][32]byte, group []proto.NodeID, inGroup map[proto.NodeID]bool) func(id proto.NodeID) proto.Handler {
+	switch name {
+	case "flood":
+		return func(proto.NodeID) proto.Handler {
+			return flood.New()
+		}
+	case "adaptive":
+		return func(proto.NodeID) proto.Handler {
+			return adaptive.New(adaptive.Config{D: 4, RoundInterval: 250 * time.Millisecond, TreeDegree: deg})
+		}
+	case "dandelion":
+		return func(proto.NodeID) proto.Handler {
+			return dandelion.New(dandelion.Config{Q: 0.25, Epoch: time.Hour, FailSafe: 2 * time.Second})
+		}
+	case "composed":
+		return func(id proto.NodeID) proto.Handler {
+			cfg := core.Config{
+				K: len(group), D: 4, Hashes: hashes,
+				DCMode: dcnet.ModeAnnounce, DCInterval: 250 * time.Millisecond,
+				DCPolicy: dcnet.PolicyNone, DCMaxRounds: 16,
+				ADInterval: 250 * time.Millisecond, TreeDegree: deg,
+				// The loss-tolerance stack under test: ack/retransmit
+				// sized to the 50–70 ms links (RTO > worst-case RTT),
+				// eviction after 2 silent rounds down to a floor of 3,
+				// and the 2 s fail-safe flood. The stall timeout leaves
+				// room for a full retry chain (RetryBudget·RTO plus a
+				// link delay), so a round being repaired is not
+				// abandoned mid-retransmission at high loss.
+				DCRetransmitTimeout: 150 * time.Millisecond,
+				DCRetryBudget:       3,
+				DCTimeout:           600 * time.Millisecond,
+				DCEvictAfter:        2,
+				DCFloor:             3,
+				FailSafe:            2 * time.Second,
+			}
+			if inGroup[id] {
+				cfg.Group = group
+			}
+			p, err := core.New(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("protocolStack: building node %d: %v", id, err))
+			}
+			return p
+		}
+	default:
+		panic("protocolStack: unknown protocol " + name)
+	}
+}
+
 // e15Sample is one trial's outcome.
 type e15Sample struct {
 	delivered  int
@@ -142,61 +196,13 @@ func E15Robustness(sc Scenario) *metrics.Table {
 		topo    func(seed uint64) *topology.Graph
 		handler func(id proto.NodeID) proto.Handler
 	}
-	cases := []protoCase{
-		{
-			name: "flood",
-			topo: func(seed uint64) *topology.Graph { return regular(n, deg, seed) },
-			handler: func(proto.NodeID) proto.Handler {
-				return flood.New()
-			},
-		},
-		{
-			name: "adaptive",
-			topo: func(seed uint64) *topology.Graph { return regular(n, deg, seed) },
-			handler: func(proto.NodeID) proto.Handler {
-				return adaptive.New(adaptive.Config{D: 4, RoundInterval: 250 * time.Millisecond, TreeDegree: deg})
-			},
-		},
-		{
-			name: "dandelion",
-			topo: func(seed uint64) *topology.Graph { return regular(n, deg, seed) },
-			handler: func(proto.NodeID) proto.Handler {
-				return dandelion.New(dandelion.Config{Q: 0.25, Epoch: time.Hour, FailSafe: 2 * time.Second})
-			},
-		},
-		{
-			name: "composed",
-			topo: func(seed uint64) *topology.Graph { return regular(n, deg, seed) },
-			handler: func(id proto.NodeID) proto.Handler {
-				cfg := core.Config{
-					K: k, D: 4, Hashes: hashes,
-					DCMode: dcnet.ModeAnnounce, DCInterval: 250 * time.Millisecond,
-					DCPolicy: dcnet.PolicyNone, DCMaxRounds: 16,
-					ADInterval: 250 * time.Millisecond, TreeDegree: deg,
-					// The loss-tolerance stack under test: ack/retransmit
-					// sized to the 50–70 ms links (RTO > worst-case RTT),
-					// eviction after 2 silent rounds down to a floor of 3,
-					// and the 2 s fail-safe flood. The stall timeout leaves
-					// room for a full retry chain (RetryBudget·RTO plus a
-					// link delay), so a round being repaired is not
-					// abandoned mid-retransmission at high loss.
-					DCRetransmitTimeout: 150 * time.Millisecond,
-					DCRetryBudget:       3,
-					DCTimeout:           600 * time.Millisecond,
-					DCEvictAfter:        2,
-					DCFloor:             3,
-					FailSafe:            2 * time.Second,
-				}
-				if inGroup[id] {
-					cfg.Group = group
-				}
-				p, err := core.New(cfg)
-				if err != nil {
-					panic(fmt.Sprintf("e15: building node %d: %v", id, err))
-				}
-				return p
-			},
-		},
+	var cases []protoCase
+	for _, name := range [...]string{"flood", "adaptive", "dandelion", "composed"} {
+		cases = append(cases, protoCase{
+			name:    name,
+			topo:    func(seed uint64) *topology.Graph { return regular(n, deg, seed) },
+			handler: protocolStack(name, deg, hashes, group, inGroup),
+		})
 	}
 
 	for _, pc := range cases {

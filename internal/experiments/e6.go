@@ -52,7 +52,8 @@ func (t *tokenTracker) OnSend(_ time.Duration, _, to proto.NodeID, msg proto.Mes
 		t.last = to
 	}
 }
-func (*tokenTracker) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+func (*tokenTracker) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (*tokenTracker) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)    {}
 
 // E6Obfuscation reproduces the perfect-obfuscation claim the paper
 // inherits from adaptive diffusion (§V-B, [17]): "the probability to

@@ -89,7 +89,8 @@ func TestFloodDeliversPayloadIntact(t *testing.T) {
 // tapFunc adapts a function to sim.Tap for delivery observations.
 type tapFunc func(node proto.NodeID, id proto.MsgID, payload []byte)
 
-func (tapFunc) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (tapFunc) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message)    {}
+func (tapFunc) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
 
 func (f tapFunc) OnDeliverLocal(_ time.Duration, node proto.NodeID, id proto.MsgID, payload []byte) {
 	f(node, id, payload)

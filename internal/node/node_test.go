@@ -71,7 +71,8 @@ func newBlockchainWorld(t *testing.T, n int, group []proto.NodeID, miners map[pr
 // mempoolFeeder is the sim-side equivalent of transport.Config.OnDeliver.
 type mempoolFeeder struct{ w *blockchainWorld }
 
-func (f mempoolFeeder) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (f mempoolFeeder) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message)    {}
+func (f mempoolFeeder) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
 func (f mempoolFeeder) OnDeliverLocal(_ time.Duration, node proto.NodeID, _ proto.MsgID, payload []byte) {
 	f.w.nodes[node].OnDeliver(payload)
 }

@@ -400,6 +400,13 @@ func (e *Engine) step(root heapEntry) bool {
 		node, src, msg := ev.node, ev.src, ev.msg
 		e.release(root.idx)
 		if !node.crashed {
+			// Delivery-side taps fire here, in the engine's dispatch,
+			// so both the single-loop and sharded send paths (whose
+			// cross-shard outboxes funnel through scheduleDeliver into
+			// this case) report arrivals identically.
+			for _, tap := range node.net.taps {
+				tap.OnReceive(root.at, src, node.id, msg)
+			}
 			node.handler.HandleMessage(node, src, msg)
 		}
 	case evTimer:

@@ -18,8 +18,22 @@ import (
 // Registering a tap pins the network to a single shard (taps observe a
 // globally ordered event stream, which only one loop can produce).
 type Tap interface {
-	// OnSend fires when a message is handed to the network by from.
+	// OnSend fires when a message is handed to the network by from —
+	// before the netem shaper's drop/delay decision, so it sees every
+	// send attempt, including messages the shaper later kills. The
+	// timestamp is the sender's clock: no latency or jitter applied.
+	// This is the send-side accounting view (message counts, phase
+	// tracing); anything modelling an observer on the wire must use
+	// OnReceive instead.
 	OnSend(at time.Duration, from, to proto.NodeID, msg proto.Message)
+	// OnReceive fires when a message actually arrives at to — after the
+	// drop decision, with the shaped delay (latency + jitter + FIFO
+	// clamp) applied, immediately before the destination handler runs.
+	// Dropped messages and messages addressed to crashed nodes never
+	// fire it. This is the hook adversarial observers (spy nodes) must
+	// use: it reports exactly what a node on the real network would see,
+	// when it would see it.
+	OnReceive(at time.Duration, from, to proto.NodeID, msg proto.Message)
 	// OnDeliverLocal fires when a node first reports local delivery of a
 	// broadcast payload.
 	OnDeliverLocal(at time.Duration, node proto.NodeID, id proto.MsgID, payload []byte)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/proto"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -243,10 +244,20 @@ func TestNodeTimers(t *testing.T) {
 
 type recordingTap struct {
 	sends    int
+	recvs    int
 	delivers int
+	sendAt   []time.Duration
+	recvAt   []time.Duration
 }
 
-func (r *recordingTap) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message) { r.sends++ }
+func (r *recordingTap) OnSend(at time.Duration, _, _ proto.NodeID, _ proto.Message) {
+	r.sends++
+	r.sendAt = append(r.sendAt, at)
+}
+func (r *recordingTap) OnReceive(at time.Duration, _, _ proto.NodeID, _ proto.Message) {
+	r.recvs++
+	r.recvAt = append(r.recvAt, at)
+}
 func (r *recordingTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {
 	r.delivers++
 }
@@ -266,8 +277,73 @@ func TestNetworkTaps(t *testing.T) {
 	if tap.sends != 3 {
 		t.Errorf("tap sends = %d, want 3", tap.sends)
 	}
+	if tap.recvs != 3 {
+		t.Errorf("tap receives = %d, want 3 (lossless network)", tap.recvs)
+	}
 	if tap.delivers != 1 {
 		t.Errorf("tap delivers = %d, want 1", tap.delivers)
+	}
+}
+
+// TestTapReceiveAfterDropDecision pins the observation-layer contract:
+// OnSend fires for every send attempt, but OnReceive only fires for
+// messages the shaper actually delivered. Under a 100%-loss profile a
+// tap must see sends and zero receives — before the OnReceive hook
+// existed, an observer built on OnSend "saw" all of these phantom
+// messages.
+func TestTapReceiveAfterDropDecision(t *testing.T) {
+	g, err := topology.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate() rejects Loss ≥ 1 for experiment profiles, but the
+	// shaper itself honours it: every decision word is below the
+	// saturated threshold. That makes an always-drop link a one-line
+	// fixture here.
+	allLoss := netem.Profile{Name: "blackhole", Latency: netem.Const(10 * time.Millisecond), Loss: 1}
+	net := NewNetwork(g, Options{Seed: 1, Netem: &allLoss})
+	tap := &recordingTap{}
+	net.AddTap(tap)
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return &relayHandler{} })
+	net.Start()
+	net.nodes[0].Send(1, &pingMsg{})
+	net.Run(0)
+	if tap.sends != 1 {
+		t.Errorf("tap sends = %d, want 1", tap.sends)
+	}
+	if tap.recvs != 0 {
+		t.Errorf("tap receives = %d, want 0 under 100%% loss", tap.recvs)
+	}
+	if got := net.NetemDropped(); got != 1 {
+		t.Errorf("netem dropped = %d, want 1", got)
+	}
+}
+
+// TestTapReceiveTimestampShaped pins the other half of the contract:
+// OnReceive timestamps carry the shaped delay. Under constant latency L
+// (no jitter, no queueing — the FIFO clamp is a no-op) every receive
+// must land exactly at send+L.
+func TestTapReceiveTimestampShaped(t *testing.T) {
+	const L = 25 * time.Millisecond
+	g, err := topology.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constLat := netem.Profile{Name: "const", Latency: netem.Const(L)}
+	net := NewNetwork(g, Options{Seed: 7, Netem: &constLat})
+	tap := &recordingTap{}
+	net.AddTap(tap)
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return &relayHandler{} })
+	net.Start()
+	net.nodes[0].Send(1, &pingMsg{})
+	net.Run(0)
+	if tap.recvs != 4 || tap.sends != 4 {
+		t.Fatalf("sends/receives = %d/%d, want 4/4", tap.sends, tap.recvs)
+	}
+	for i, at := range tap.recvAt {
+		if want := tap.sendAt[i] + L; at != want {
+			t.Errorf("receive %d at %v, want send %v + %v = %v", i, at, tap.sendAt[i], L, want)
+		}
 	}
 }
 

@@ -117,8 +117,9 @@ func TestShardedDeterminism(t *testing.T) {
 // pin the network to one shard.
 type nopTap struct{}
 
-func (nopTap) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message)  {}
-func (nopTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte) {}
+func (nopTap) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message)    {}
+func (nopTap) OnReceive(time.Duration, proto.NodeID, proto.NodeID, proto.Message) {}
+func (nopTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)    {}
 
 // TestShardedClampsToSingleLoop pins the eligibility rules: any
 // configuration whose draws depend on global event order (shared-RNG
