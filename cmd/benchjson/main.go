@@ -48,9 +48,9 @@ type Report struct {
 
 // benchPackages lists the suites tracked in BENCH_runtime.json: the
 // top-level experiment benchmarks (E1–E15, A1–A2) plus the runtime,
-// topology, crypto, DC-net, netem and reliability-channel
+// topology, crypto, DC-net, netem, reliability-channel and workload
 // micro-benchmarks.
-var benchPackages = []string{".", "./internal/sim", "./internal/topology", "./internal/crypto", "./internal/dcnet", "./internal/netem", "./internal/relchan"}
+var benchPackages = []string{".", "./internal/sim", "./internal/topology", "./internal/crypto", "./internal/dcnet", "./internal/netem", "./internal/relchan", "./internal/workload"}
 
 func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")

@@ -41,6 +41,7 @@ import (
 	"repro/flexnet"
 	"repro/internal/netem"
 	"repro/internal/parity"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -112,10 +113,16 @@ func run() error {
 	send := flag.String("send", "", "payload to broadcast anonymously after startup")
 	fee := flag.Uint64("fee", 10, "fee for -send")
 	interval := flag.Duration("dc-interval", 2*time.Second, "DC-net round interval")
+	soakMode := flag.Bool("soak", false, "boot an in-process TCP cluster and drive a sustained workload through it instead of running one node")
+	rateSpec := flag.String("rate", "10", "soak: workload rate spec (e.g. \"25\", \"25,resub=0.1\")")
+	soakDur := flag.Duration("duration", 2*time.Second, "soak: injection window (wall clock)")
 	flag.Parse()
 
 	if *parityMode {
 		return runParity(*variant, *transportKind, *netemSpec, *clusterN, *seed, *reliable)
+	}
+	if *soakMode {
+		return runSoak(*rateSpec, *soakDur, *clusterN, *k, *d, *interval, *seed)
 	}
 
 	addrBook, err := parsePeers(*peers)
@@ -217,6 +224,50 @@ func parseIDs(s string) ([]int32, error) {
 		out = append(out, int32(v))
 	}
 	return out, nil
+}
+
+// runSoak boots an in-process TCP cluster with the admission layer
+// mounted and streams a sustained workload through it, printing the
+// throughput/latency report.
+func runSoak(rateSpec string, duration time.Duration, n, k, d int, interval time.Duration, seed uint64) error {
+	spec, err := workload.ParseRateSpec(rateSpec)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		n = 8
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if interval > 500*time.Millisecond {
+		interval = 300 * time.Millisecond // soak wants short DC rounds
+	}
+	fmt.Printf("soak: %d-node TCP cluster, %s over %v…\n", n, spec.String(), duration)
+	rep, err := flexnet.SoakCluster(flexnet.ClusterSoakConfig{
+		N:          n,
+		GroupSize:  min(k+1, n),
+		D:          d,
+		DCInterval: interval,
+		Spec:       spec,
+		Duration:   duration,
+		Drain:      45 * time.Second,
+		Seed:       seed,
+		Admission:  &workload.AdmissionConfig{QueueCap: 128, Policy: workload.DropOldest},
+		OnProgress: func(line string) { fmt.Println("  " + line) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %d (%d unique), delivered %d/%d (coverage %.3f) in %v\n",
+		rep.Submitted, rep.Unique, rep.Delivered, rep.Unique*n, rep.Coverage, rep.Wall.Round(time.Millisecond))
+	fmt.Printf("throughput %.1f tx/s, %.1f msgs/node/s (%d frames)\n",
+		rep.TxPerSec, rep.MsgsPerNodePerSec, rep.Frames)
+	fmt.Printf("latency p50 %v  p95 %v  p99 %v\n",
+		rep.P50().Round(time.Millisecond), rep.P95().Round(time.Millisecond), rep.P99().Round(time.Millisecond))
+	fmt.Printf("admission: admitted %d, deduped %d, dropped %d, peak queue %d\n",
+		rep.Admission.Admitted, rep.Admission.Deduped, rep.Admission.Dropped, rep.Admission.PeakQueueDepth)
+	return nil
 }
 
 // demoSeed derives a deterministic identity seed for demo clusters.

@@ -21,8 +21,8 @@
 // Usage:
 //
 //	flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P]
-//	        [-shards K] [-v] [-netem PROFILE]
-//	        [-cpuprofile F] [-memprofile F] [-trace F] <experiment|all|list>
+//	        [-shards K] [-v] [-netem PROFILE] [-rate SPEC] [-duration D] [-users U]
+//	        [-cpuprofile F] [-memprofile F] [-trace F] <experiment|all|list|soak>
 package main
 
 import (
@@ -37,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -54,12 +55,16 @@ func run() int {
 	shards := flag.Int("shards", 0, "per-trial event-loop shards on sharding-aware experiments (0/1: single loop)")
 	verbose := flag.Bool("v", false, "print per-shard event counts and lookahead stalls to stderr")
 	netemSpec := flag.String("netem", "", "network-condition profile override: preset or spec, e.g. wan, lossy, \"lat=20ms,jitter=10ms,loss=0.05\"")
+	rateSpec := flag.String("rate", "100", "soak target: workload rate spec, e.g. \"400\", \"400,resub=0.1,zipf=1.2\", \"trace:10ms/30ms\"")
+	soakDur := flag.Duration("duration", 5*time.Second, "soak target: injection window (virtual time)")
+	users := flag.Int("users", 0, "soak target: simulated user population override (0: spec default)")
+	soakSeed := flag.Uint64("seed", 1, "soak target: run seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	exps := experiments.All()
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] [-shards K] [-v] [-netem PROFILE] [-cpuprofile F] [-memprofile F] [-trace F] <experiment|all|list>\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: flexsim [-quick] [-md] [-csv] [-n N] [-degree D] [-trials T] [-par P] [-shards K] [-v] [-netem PROFILE] [-cpuprofile F] [-memprofile F] [-trace F] <experiment|all|list|soak>\n\nexperiments:\n  soak [-rate SPEC] [-duration D] [-users U]: sustained-workload soak run\n")
 		for _, e := range exps {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
 		}
@@ -142,6 +147,38 @@ func run() int {
 	}
 
 	switch arg := flag.Arg(0); arg {
+	case "soak":
+		spec, err := workload.ParseRateSpec(*rateSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -rate spec: %v\n", err)
+			return 2
+		}
+		if *users > 0 {
+			spec.Users = *users
+		}
+		cfg := workload.SoakConfig{
+			Spec:      spec,
+			Duration:  *soakDur,
+			N:         sc.N,
+			Degree:    sc.Degree,
+			Seed:      *soakSeed,
+			Netem:     sc.Netem,
+			Shards:    sc.Shards,
+			Admission: workload.AdmissionConfig{QueueCap: 128, Policy: workload.DropOldest},
+		}
+		res := workload.Soak(cfg)
+		t := metrics.NewTable(
+			fmt.Sprintf("Soak — %s over %v (seed %d)", spec.String(), *soakDur, *soakSeed),
+			"offered", "unique", "launched", "coverage", "tx/s", "msgs/node/s",
+			"p50", "p95", "p99", "peakQ", "dropped", "deduped", "heapMB", "steps", "wall",
+		)
+		t.AddRow(res.Offered, res.Unique, res.Launched, res.Coverage,
+			res.TxPerSec, res.MsgsPerNodePerSec,
+			res.P50().Round(time.Millisecond).String(), res.P95().Round(time.Millisecond).String(), res.P99().Round(time.Millisecond).String(),
+			res.Admission.PeakQueueDepth, res.Admission.Dropped, res.Admission.Deduped,
+			float64(res.HeapBytes)/(1<<20), res.Steps, res.Wall.Round(time.Millisecond).String())
+		t.AddNote("dense flood stack; admission cap 128 drop-oldest; latency quantiles include queueing (virtual time)")
+		render(t)
 	case "list":
 		for _, e := range exps {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

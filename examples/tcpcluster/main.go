@@ -1,92 +1,52 @@
-// TCP cluster: eight real nodes on localhost sockets — nodes 0–4 form a
-// DC-net group (k=5) — one of them submits a transaction anonymously,
-// and the program reports when every mempool holds it. This is the same
-// protocol stack the simulator runs, on real TCP.
+// TCP cluster soak: eight real nodes on localhost sockets — nodes 0–4
+// form a DC-net group (k=5) — absorbing a sustained Poisson transaction
+// stream (Zipf-skewed originators, a duplicate resubmission mix) through
+// the mempool admission layer. The same three-phase protocol stack the
+// simulator runs, on real TCP, under real load: the program prints the
+// achieved throughput, the per-node message rate, and the p50/p95/p99
+// submission-to-delivery latency, queueing included.
 //
 //	go run ./examples/tcpcluster
 package main
 
 import (
-	"encoding/binary"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/flexnet"
+	"repro/internal/workload"
 )
 
 func main() {
-	const (
-		n         = 8
-		groupSize = 5
-	)
-	addrs := make(map[int32]string, n)
-	seeds := make(map[int32][32]byte, groupSize)
-	var group []int32
-	for i := int32(0); i < groupSize; i++ {
-		var s [32]byte
-		binary.LittleEndian.PutUint32(s[:], uint32(i))
-		copy(s[4:], "tcpcluster-demo")
-		seeds[i] = s
-		group = append(group, i)
-	}
+	const n = 8
+	fmt.Printf("starting %d-node TCP cluster (nodes 0–4 one DC-net group)…\n", n)
+	fmt.Println("streaming 12 tx/s for 2s, 15% resubmissions, admission cap 64…")
 
-	// Start all nodes on OS-assigned ports (ring overlay), then late-bind
-	// the shared address book.
-	nodes := make([]*flexnet.Node, n)
-	for i := int32(0); i < n; i++ {
-		var grp []int32
-		if i < groupSize {
-			grp = group
-		}
-		node, err := flexnet.StartNode(flexnet.NodeConfig{
-			ID:            i,
-			Listen:        "127.0.0.1:0",
-			AddrBook:      map[int32]string{},
-			Neighbors:     []int32{(i + n - 1) % n, (i + 1) % n},
-			Group:         grp,
-			IdentitySeeds: seeds,
-			K:             groupSize,
-			D:             2,
-			DCInterval:    300 * time.Millisecond,
-			Seed:          uint64(i + 1),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		nodes[i] = node
-		defer func() { _ = node.Close() }()
-		addrs[i] = node.Addr()
-		fmt.Printf("node %d listening on %s\n", i, node.Addr())
-	}
-	for _, node := range nodes {
-		for id, addr := range addrs {
-			node.SetAddr(id, addr)
-		}
-	}
-
-	fmt.Println("\nnode 2 submits a transaction anonymously (Phase 1 hides it inside the group)…")
-	start := time.Now()
-	if err := nodes[2].SubmitTx([]byte("coffee: 0.0042 BTC"), 42); err != nil {
+	rep, err := flexnet.SoakCluster(flexnet.ClusterSoakConfig{
+		N:          n,
+		GroupSize:  5,
+		D:          2,
+		DCInterval: 300 * time.Millisecond,
+		Spec:       workload.Spec{Rate: 12, Resubmit: 0.15},
+		Duration:   2 * time.Second,
+		Drain:      30 * time.Second,
+		Seed:       42,
+		Admission:  &workload.AdmissionConfig{QueueCap: 64, Policy: workload.DropOldest},
+		OnProgress: func(line string) { fmt.Println("  " + line) },
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		have := 0
-		for _, node := range nodes {
-			if node.MempoolSize() >= 1 {
-				have++
-			}
-		}
-		fmt.Printf("\r%d/%d mempools have the transaction (%.1fs)", have, n, time.Since(start).Seconds())
-		if have == n {
-			fmt.Printf("\nall mempools reached in %.1fs — delivery guaranteed by Phase 3\n", time.Since(start).Seconds())
-			return
-		}
-		if time.Now().After(deadline) {
-			log.Fatal("\ntimed out waiting for propagation")
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
+	fmt.Printf("\nsubmitted %d transactions (%d unique, %d duplicates)\n",
+		rep.Submitted, rep.Unique, rep.Submitted-rep.Unique)
+	fmt.Printf("delivered %d/%d (coverage %.3f) in %v\n",
+		rep.Delivered, rep.Unique*n, rep.Coverage, rep.Wall.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f tx/s sustained, %.1f msgs/node/s on the wire\n",
+		rep.TxPerSec, rep.MsgsPerNodePerSec)
+	fmt.Printf("latency:    p50 %v  p95 %v  p99 %v (submission→delivery, queueing included)\n",
+		rep.P50().Round(time.Millisecond), rep.P95().Round(time.Millisecond), rep.P99().Round(time.Millisecond))
+	fmt.Printf("admission:  %d admitted, %d deduped, %d dropped, peak queue depth %d\n",
+		rep.Admission.Admitted, rep.Admission.Deduped, rep.Admission.Dropped, rep.Admission.PeakQueueDepth)
 }

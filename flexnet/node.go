@@ -15,6 +15,7 @@ import (
 	"repro/internal/relchan"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"repro/internal/workload"
 
 	"repro/internal/adaptive"
 	"repro/internal/dandelion"
@@ -43,6 +44,10 @@ type NodeConfig struct {
 	K, D int
 	// DCInterval is the Phase-1 round interval (default 2 s).
 	DCInterval time.Duration
+	// FailSafe, when positive, arms the coverage-first recovery flood:
+	// a payload not fully flooded within this deadline is re-flooded
+	// from every holder. Zero keeps the paper's strict mode.
+	FailSafe time.Duration
 	// Mine enables the toy proof-of-work miner.
 	Mine bool
 	// DifficultyBits is the PoW difficulty (default 16).
@@ -53,6 +58,14 @@ type NodeConfig struct {
 	OnBlock func(height uint64, txs int, miner int32)
 	// OnTx fires when a broadcast transaction reaches this node.
 	OnTx func(id [16]byte, fee uint64, payload []byte)
+	// Admission mounts the workload mempool-admission layer in front of
+	// the protocol launch: submissions are deduplicated, queued up to
+	// AdmissionConfig.QueueCap and paced by SubmitService. Nil keeps the
+	// classic direct-launch path.
+	Admission *workload.AdmissionConfig
+	// SubmitService is the pacing interval between queued launches when
+	// Admission is mounted (0: drain immediately).
+	SubmitService time.Duration
 }
 
 // Node is a running TCP blockchain node with privacy-preserving
@@ -76,6 +89,7 @@ func NewCodec() *wire.Codec {
 	relchan.RegisterMessages(c)
 	group.RegisterMessages(c)
 	node.RegisterMessages(c)
+	workload.RegisterMessages(c)
 	return c
 }
 
@@ -113,9 +127,12 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			DCInterval: cfg.DCInterval,
 			DCMode:     dcnet.ModeAnnounce,
 			DCPolicy:   dcnet.PolicyDissolve,
+			FailSafe:   cfg.FailSafe,
 		},
 		Mine:           cfg.Mine,
 		DifficultyBits: cfg.DifficultyBits,
+		Admission:      cfg.Admission,
+		SubmitService:  cfg.SubmitService,
 		OnBlock: func(b *chain.Block) {
 			if cfg.OnBlock != nil {
 				cfg.OnBlock(b.Height, len(b.Txs), int32(b.Miner))
@@ -180,6 +197,42 @@ func (n *Node) SubmitTx(payload []byte, fee uint64) error {
 		return err
 	case <-time.After(5 * time.Second):
 		return fmt.Errorf("flexnet: SubmitTx timed out")
+	}
+}
+
+// AdmissionStats returns the admission-layer counters (zero when
+// NodeConfig.Admission was nil). Like MempoolSize, it is a snapshot
+// taken on the event loop.
+func (n *Node) AdmissionStats() workload.Stats {
+	ch := make(chan workload.Stats, 1)
+	n.trans.Inject(func(proto.Context) {
+		p := n.inner.Probe()
+		ch <- workload.Stats{Admitted: p.Admitted, Deduped: p.Deduped,
+			Dropped: p.Dropped, PeakQueueDepth: p.PeakQueueDepth}
+	})
+	select {
+	case st := <-ch:
+		return st
+	case <-time.After(5 * time.Second):
+		return workload.Stats{}
+	}
+}
+
+// SubmitRawTx broadcasts an already-encoded transaction through the
+// three-phase protocol — the deterministic-identity form of SubmitTx:
+// the caller controls the nonce, so resubmitting the same encoding at
+// any node is a true duplicate that the admission layer deduplicates.
+func (n *Node) SubmitRawTx(encoded []byte) error {
+	errCh := make(chan error, 1)
+	n.trans.Inject(func(ctx proto.Context) {
+		_, err := n.inner.Broadcast(ctx, encoded)
+		errCh <- err
+	})
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("flexnet: SubmitRawTx timed out")
 	}
 }
 

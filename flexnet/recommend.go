@@ -26,6 +26,9 @@ type Recommendation struct {
 	// PredictedPhase1MsgsPerRound is the periodic group cost 3·g·(g−1)
 	// at g = K.
 	PredictedPhase1MsgsPerRound int
+	// PredictedUtilization is the planned per-link load fraction
+	// ρ = SustainedRate/LinkCapacity (0 when no sustained rate given).
+	PredictedUtilization float64
 }
 
 // AdvisorInput describes the deployment RecommendParams plans for.
@@ -54,6 +57,18 @@ type AdvisorInput struct {
 	// target — and degrades PredictedLatency by the expected
 	// 1/(1−loss) retransmission factor per hop.
 	LossRate float64
+	// SustainedRate is the open-world transaction rate (tx/s) the
+	// deployment must absorb continuously. Zero keeps the classic
+	// single-broadcast plan. A positive rate is compared against
+	// LinkCapacity: utilization ρ = SustainedRate/LinkCapacity inflates
+	// per-hop latency by the M/M/1 queueing factor 1/(1−ρ), and past
+	// 50% utilization the usable fanout shrinks linearly (a saturated
+	// link can no longer serve its full neighbor burst in time), which
+	// deepens d. ρ ≥ 1 is over capacity and rejected.
+	SustainedRate float64
+	// LinkCapacity is one directed link's sustainable message rate in
+	// msgs/s (default 1000). Only consulted when SustainedRate > 0.
+	LinkCapacity float64
 }
 
 func (in *AdvisorInput) applyDefaults() {
@@ -78,6 +93,9 @@ func (in *AdvisorInput) applyDefaults() {
 	if in.LatencyMs == 0 {
 		in.LatencyMs = 50
 	}
+	if in.LinkCapacity == 0 {
+		in.LinkCapacity = 1000
+	}
 }
 
 // RecommendParams picks the smallest (k, d) meeting the privacy targets:
@@ -97,6 +115,16 @@ func RecommendParams(in AdvisorInput) (*Recommendation, error) {
 	if in.LossRate < 0 || in.LossRate >= 1 {
 		return nil, errors.New("flexnet: LossRate must be in [0,1)")
 	}
+	if in.SustainedRate < 0 {
+		return nil, errors.New("flexnet: SustainedRate must be >= 0")
+	}
+	rho := 0.0
+	if in.SustainedRate > 0 {
+		rho = in.SustainedRate / in.LinkCapacity
+		if rho >= 1 {
+			return nil, errors.New("flexnet: SustainedRate at or above LinkCapacity; no stable plan exists")
+		}
+	}
 
 	// Smallest k with 1/ceil(k(1−f)) ≤ target.
 	k := 2
@@ -111,8 +139,16 @@ func RecommendParams(in AdvisorInput) (*Recommendation, error) {
 	// carries its message with probability 1−loss, so the ball grows on
 	// an effective degree of Degree·(1−loss) (never below the line
 	// graph's 2) and each hop costs 1/(1−loss) expected transmissions.
-	effDeg := max(int(float64(in.Degree)*(1-in.LossRate)), 2)
-	retx := 1 / (1 - in.LossRate)
+	// Utilization composes with loss on both axes: queueing inflates
+	// every hop by 1/(1−ρ), and past 50% utilization the usable fanout
+	// shrinks linearly — below that links absorb the forwarding burst
+	// with headroom to spare, so moderate load costs latency only.
+	congest := 1.0
+	if rho > 0.5 {
+		congest = 2 * (1 - rho)
+	}
+	effDeg := max(int(float64(in.Degree)*(1-in.LossRate)*congest), 2)
+	retx := 1 / (1 - in.LossRate) / (1 - rho)
 
 	// Smallest d whose effective-degree tree ball reaches the cover
 	// target.
@@ -142,6 +178,7 @@ func RecommendParams(in AdvisorInput) (*Recommendation, error) {
 		PredictedBallSize:           ballSizeOn(effDeg, d),
 		PredictedLatency:            latency,
 		PredictedPhase1MsgsPerRound: 3 * k * (k - 1),
+		PredictedUtilization:        rho,
 	}, nil
 }
 

@@ -165,3 +165,95 @@ func TestBallSizeOnMatchesLineAndTree(t *testing.T) {
 		t.Errorf("zero-radius ball = %d", got)
 	}
 }
+
+// TestRecommendParamsSustainedRate is the table-driven check of the
+// rate-aware advisor: zero rate reproduces the classic plan exactly,
+// moderate utilization (ρ ≤ 0.5) costs latency only via the 1/(1−ρ)
+// queueing factor, high utilization also thins the usable fanout
+// (deepening d), and offered load at or above LinkCapacity is rejected.
+func TestRecommendParamsSustainedRate(t *testing.T) {
+	base := AdvisorInput{N: 1000, Degree: 8, CoverFraction: 0.1}
+	classic, err := RecommendParams(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		rate, cap float64
+		wantRho   float64
+		wantDeg   int // effective degree the plan must use
+	}{
+		{"zero rate unchanged", 0, 0, 0, 8},
+		{"moderate load latency only", 250, 1000, 0.25, 8},
+		{"half load latency only", 500, 1000, 0.5, 8},
+		{"heavy load thins fanout", 800, 1000, 0.8, 3}, // 8·2(1−0.8) = 3.2 → 3
+		{"default capacity applies", 400, 0, 0.4, 8},   // cap defaults to 1000
+	}
+	for _, c := range cases {
+		in := base
+		in.SustainedRate, in.LinkCapacity = c.rate, c.cap
+		rec, err := RecommendParams(in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(rec.PredictedUtilization-c.wantRho) > 1e-9 {
+			t.Errorf("%s: utilization %v, want %v", c.name, rec.PredictedUtilization, c.wantRho)
+		}
+		if rec.PredictedBallSize != ballSizeOn(c.wantDeg, rec.D) {
+			t.Errorf("%s: ball %d not computed on effective degree %d",
+				c.name, rec.PredictedBallSize, c.wantDeg)
+		}
+		if rec.D > 1 && ballSizeOn(c.wantDeg, rec.D-1) >= 100 {
+			t.Errorf("%s: D = %d not minimal", c.name, rec.D)
+		}
+		// Load must not touch the privacy side of the plan.
+		if rec.K != classic.K || rec.PredictedFloor != classic.PredictedFloor {
+			t.Errorf("%s: privacy parameters drifted (k %d, floor %v)", c.name, rec.K, rec.PredictedFloor)
+		}
+		if c.wantRho == 0 {
+			if rec.PredictedLatency != classic.PredictedLatency || rec.D != classic.D {
+				t.Errorf("%s: zero-rate plan drifted from classic", c.name)
+			}
+		} else {
+			if rec.PredictedLatency <= classic.PredictedLatency {
+				t.Errorf("%s: latency %v did not degrade past classic %v",
+					c.name, rec.PredictedLatency, classic.PredictedLatency)
+			}
+		}
+		if c.wantDeg == 8 && rec.D != classic.D {
+			t.Errorf("%s: moderate load deepened d (%d vs %d)", c.name, rec.D, classic.D)
+		}
+		if c.wantDeg < 8 && rec.D <= classic.D {
+			t.Errorf("%s: heavy load kept d at %d, want deeper than %d", c.name, rec.D, classic.D)
+		}
+	}
+	// Queueing factor spot check: flood-only plan at ρ = 0.5 doubles
+	// every hop, so latency doubles against the classic flood.
+	floodOnly := AdvisorInput{N: 1000, Degree: 8, CoverFraction: 0.1,
+		DCInterval: time.Nanosecond, ADInterval: time.Nanosecond, LatencyMs: 100}
+	clean, err := RecommendParams(floodOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floodOnly.SustainedRate, floodOnly.LinkCapacity = 500, 1000
+	loaded, err := RecommendParams(floodOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+	if round(loaded.PredictedLatency) != 2*round(clean.PredictedLatency) {
+		t.Errorf("ρ=0.5 flood latency %v, want double %v",
+			round(loaded.PredictedLatency), round(clean.PredictedLatency))
+	}
+	// Over capacity: no stable plan.
+	for _, rate := range []float64{1000, 1500} {
+		in := base
+		in.SustainedRate, in.LinkCapacity = rate, 1000
+		if _, err := RecommendParams(in); err == nil {
+			t.Errorf("rate %v at capacity 1000 accepted", rate)
+		}
+	}
+	if _, err := RecommendParams(AdvisorInput{SustainedRate: -1}); err == nil {
+		t.Error("negative SustainedRate accepted")
+	}
+}

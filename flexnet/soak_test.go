@@ -1,0 +1,48 @@
+package flexnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestSoakClusterSmoke runs a small sustained stream over a real local
+// TCP cluster with the admission layer mounted and checks the report's
+// internal consistency: everything unique delivered everywhere, latency
+// sketch populated, frame counters moving.
+func TestSoakClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets and wall-clock sleeps; run without -short")
+	}
+	rep, err := SoakCluster(ClusterSoakConfig{
+		N:          6,
+		GroupSize:  4,
+		DCInterval: 200 * time.Millisecond,
+		Spec:       workload.Spec{Rate: 15, Resubmit: 0.2},
+		Duration:   time.Second,
+		Drain:      30 * time.Second,
+		Seed:       7,
+		Admission:  &workload.AdmissionConfig{QueueCap: 64, Policy: workload.DropOldest},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unique == 0 || rep.Submitted < rep.Unique {
+		t.Fatalf("implausible submission counts: %+v", rep)
+	}
+	if rep.Coverage < 0.99 {
+		t.Fatalf("coverage %.3f, want ≥ 0.99 (delivered %d of %d)",
+			rep.Coverage, rep.Delivered, rep.Unique*6)
+	}
+	if rep.Latency.Count() == 0 || rep.P99() <= 0 || rep.P50() > rep.P99() {
+		t.Fatalf("latency sketch inconsistent: count %d p50 %v p99 %v",
+			rep.Latency.Count(), rep.P50(), rep.P99())
+	}
+	if rep.Admission.Admitted == 0 {
+		t.Fatalf("admission layer saw no traffic: %+v", rep.Admission)
+	}
+	if rep.Frames == 0 || rep.MsgsPerNodePerSec <= 0 {
+		t.Fatalf("frame accounting empty: %+v", rep)
+	}
+}

@@ -180,6 +180,7 @@ var all = [...]Experiment{
 	{ID: "e14", Title: "scale sweep: flood + adaptive diffusion at N=1k/10k/100k", Run: E14ScaleSweep, Timed: true},
 	{ID: "e15", Title: "robustness: coverage/latency/overhead under loss and churn (netem sweep)", Run: E15Robustness},
 	{ID: "e16", Title: "adversarial anonymity: spy-fraction sweep across the netem grid", Run: E16AdversarialAnonymity},
+	{ID: "e17", Title: "throughput vs privacy frontier: sustained workload sweep with admission", Run: E17Frontier},
 	{ID: "a1", Title: "ablation: derived α(ρ,h) vs naive pass probabilities", Run: A1AlphaAblation},
 	{ID: "a2", Title: "parameter advisor: (k,d) for a target privacy/latency budget", Run: A2ParameterAdvisor},
 }

@@ -13,7 +13,7 @@ func TestNetworkReuseBitIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow; run without -short")
 	}
-	for _, id := range []string{"e4", "e6", "a1"} {
+	for _, id := range []string{"e4", "e6", "a1", "e17"} {
 		e := Find(id)
 		if e == nil {
 			t.Fatalf("experiment %s not found", id)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/proto"
 	"repro/internal/relchan"
+	"repro/internal/workload"
 )
 
 // WireType names one protocol message type for table rendering: the
@@ -30,6 +31,7 @@ const (
 	PhaseStem     = "dandelion stem"
 	PhaseRelChan  = "reliable channel"
 	PhaseChain    = "blockchain"
+	PhaseWorkload = "workload ingress"
 )
 
 // wireTypes is the canonical index, ascending by type.
@@ -51,6 +53,7 @@ var wireTypes = []WireType{
 	{relchan.TypeAck, "relchan/ack", PhaseRelChan},
 	{relchan.TypeNack, "relchan/nack", PhaseRelChan},
 	{relchan.TypeCustody, "relchan/custody", PhaseRelChan},
+	{workload.TypeSubmit, "workload/submit", PhaseWorkload},
 }
 
 // WireTypes returns the canonical message-type index in ascending type

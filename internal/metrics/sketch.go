@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// LatencySketch is a streaming quantile sketch for delivery latencies:
+// an HDR-histogram-style log-linear bucket table — values quantize to
+// 2^sketchSubBits sub-buckets per power-of-two octave — over int64
+// nanoseconds. The layout gives three properties the soak harness
+// needs and a sorted-sample quantile (DurationQuantile) cannot offer
+// at sustained rates:
+//
+//   - bounded memory: at most sketchBuckets counters (~15 KiB)
+//     regardless of how many samples stream in;
+//   - deterministic, order-independent state: the bucket table after N
+//     Adds depends only on the multiset of values, so soak results are
+//     bit-identical at any -par or shard count;
+//   - mergeability: per-trial (or per-shard) sketches combine by
+//     bucket-wise addition into exactly the sketch of the pooled
+//     stream.
+//
+// Quantile returns the lower bound of the target bucket, so estimates
+// under-read by at most one bucket width: a relative error of
+// 2^-sketchSubBits ≈ 3.1% (exact below 2^sketchSubBits ns, where
+// buckets are 1 ns wide). The zero LatencySketch is ready to use.
+type LatencySketch struct {
+	counts []uint64 // lazily allocated [sketchBuckets]
+	n      uint64
+	max    time.Duration
+}
+
+const (
+	// sketchSubBits sets the sub-bucket resolution: 2^5 = 32 linear
+	// sub-buckets per octave, bounding relative error at 1/32.
+	sketchSubBits = 5
+	sketchSubs    = 1 << sketchSubBits
+	// sketchBuckets covers the full non-negative int64 range:
+	// sketchSubs exact unit buckets plus 32 sub-buckets for each of the
+	// 63−sketchSubBits remaining octaves.
+	sketchBuckets = (64 - sketchSubBits) * sketchSubs
+)
+
+// sketchIndex maps a non-negative nanosecond value to its bucket.
+func sketchIndex(v int64) int {
+	if v < sketchSubs {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - 1 - sketchSubBits
+	return (shift+1)*sketchSubs + int(v>>shift) - sketchSubs
+}
+
+// sketchLower is the inverse: the smallest value mapping to bucket idx.
+func sketchLower(idx int) int64 {
+	if idx < sketchSubs {
+		return int64(idx)
+	}
+	shift := idx/sketchSubs - 1
+	return int64(sketchSubs+idx%sketchSubs) << shift
+}
+
+// Add records one latency sample. Negative durations clamp to zero.
+func (s *LatencySketch) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, sketchBuckets)
+	}
+	s.counts[sketchIndex(int64(d))]++
+	s.n++
+	if d > s.max {
+		s.max = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (s *LatencySketch) Count() uint64 { return s.n }
+
+// Max returns the exact largest recorded sample (0 when empty).
+func (s *LatencySketch) Max() time.Duration { return s.max }
+
+// Merge folds o into s: the result is exactly the sketch of both
+// streams concatenated.
+func (s *LatencySketch) Merge(o *LatencySketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, sketchBuckets)
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			s.counts[i] += c
+		}
+	}
+	s.n += o.n
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Quantile returns the q-quantile (nearest-rank) as the lower bound of
+// the rank's bucket — an under-estimate by at most 2^-sketchSubBits
+// relative. An empty sketch returns 0.
+func (s *LatencySketch) Quantile(q float64) time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.n {
+		rank = s.n
+	}
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(sketchLower(i))
+		}
+	}
+	return s.max
+}
+
+// Reset clears the sketch, keeping its bucket allocation.
+func (s *LatencySketch) Reset() {
+	clear(s.counts)
+	s.n = 0
+	s.max = 0
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSketchExactSmallValues(t *testing.T) {
+	var s LatencySketch
+	for _, v := range []time.Duration{0, 1, 2, 31} {
+		s.Add(v)
+	}
+	// Below 2^sketchSubBits ns buckets are 1 ns wide: quantiles exact.
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("q0 = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got != 31 {
+		t.Errorf("q1 = %v, want 31", got)
+	}
+	if s.Count() != 4 || s.Max() != 31 {
+		t.Errorf("count/max = %d/%v", s.Count(), s.Max())
+	}
+}
+
+func TestSketchErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	var s LatencySketch
+	var exact []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Latency-shaped spread: 1µs .. ~1s.
+		v := time.Duration(rng.Int64N(int64(time.Second))) + time.Microsecond
+		s.Add(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		// Bucketization is monotone, so the sketch's nearest-rank
+		// quantile is exactly the bucket lower bound of the true
+		// nearest-rank order statistic: never above it, and within the
+		// documented 1/32 relative error below it.
+		rank := int(math.Ceil(q * float64(len(exact))))
+		want := exact[rank-1]
+		lo := time.Duration(float64(want) * (1 - 1.0/sketchSubs))
+		if got > want || got < lo {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", q, got, lo, want)
+		}
+	}
+	if s.Max() != exact[len(exact)-1] {
+		t.Errorf("Max = %v, want exact %v", s.Max(), exact[len(exact)-1])
+	}
+}
+
+func TestSketchMergeEqualsPooled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	var a, b, pooled LatencySketch
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int64N(int64(10 * time.Second)))
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		pooled.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != pooled.Count() || a.Max() != pooled.Max() {
+		t.Fatalf("merged count/max %d/%v != pooled %d/%v", a.Count(), a.Max(), pooled.Count(), pooled.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != pooled.Quantile(q) {
+			t.Errorf("q%g: merged %v != pooled %v", q, a.Quantile(q), pooled.Quantile(q))
+		}
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	var s LatencySketch
+	s.Add(time.Second)
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Max() != 0 {
+		t.Errorf("reset sketch not empty: count=%d q50=%v max=%v", s.Count(), s.Quantile(0.5), s.Max())
+	}
+	s.Add(time.Millisecond)
+	if s.Count() != 1 {
+		t.Errorf("post-reset add: count = %d", s.Count())
+	}
+}
+
+func TestSketchIndexRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and
+	// indexes must be monotone across octave boundaries.
+	for idx := 0; idx < sketchBuckets; idx++ {
+		lo := sketchLower(idx)
+		if lo < 0 {
+			break // past int63 range
+		}
+		if got := sketchIndex(lo); got != idx {
+			t.Fatalf("sketchIndex(sketchLower(%d)=%d) = %d", idx, lo, got)
+		}
+	}
+	for _, v := range []int64{31, 32, 33, 63, 64, 1023, 1024, 1 << 40} {
+		if sketchIndex(v) >= sketchBuckets || sketchIndex(v) < 0 {
+			t.Fatalf("sketchIndex(%d) out of range", v)
+		}
+		if sketchIndex(v+1) < sketchIndex(v) {
+			t.Fatalf("sketchIndex not monotone at %d", v)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/flood"
 	"repro/internal/proto"
 	"repro/internal/wire"
+	"repro/internal/workload"
 )
 
 // TypeBlock is the wire type of block announcements.
@@ -124,10 +125,30 @@ type Config struct {
 	MaxBlockTxs int
 	// OnBlock fires when a block is accepted (mined or received).
 	OnBlock func(b *chain.Block)
+	// Admission, when non-nil, mounts the workload admission layer in
+	// front of the privacy broadcast: SubmitTx, Broadcast and inbound
+	// workload.SubmitMsg traffic dedup against already-seen
+	// transactions and queue under the configured backpressure policy.
+	// Nil (the default) keeps the legacy direct-broadcast path
+	// bit-identical to earlier builds.
+	Admission *workload.AdmissionConfig
+	// SubmitService paces admitted launches (one per interval) when
+	// Admission is set; 0 launches immediately on admission.
+	SubmitService time.Duration
 }
 
 // mineTimer drives mining attempts.
 type mineTimer struct{}
+
+// Submission pacing timers (only when Config.Admission is set).
+type (
+	submitDrain struct{}
+	submitRetry struct{ p workload.Pending }
+)
+
+// submitRetryDelay is the Blocked re-offer delay at a live node, which
+// cannot block its event loop.
+const submitRetryDelay = 10 * time.Millisecond
 
 // Node is the integrated handler.
 type Node struct {
@@ -142,6 +163,10 @@ type Node struct {
 	included map[chain.TxID]struct{}
 	lastHead chain.BlockHash
 	nonce    uint64
+	// adm is the optional submission admission layer (Config.Admission);
+	// built in Init, which knows the node's ID.
+	adm      *workload.Admission
+	draining bool
 }
 
 var _ proto.Broadcaster = (*Node)(nil)
@@ -206,6 +231,13 @@ type Probe struct {
 	// RelHandoffs counts custody payloads this node launched into
 	// Phase 2 on behalf of an absent originator.
 	RelHandoffs int
+	// Admitted, Deduped and Dropped mirror the node's workload
+	// admission counters; all zero when Config.Admission is nil.
+	Admitted int64
+	Deduped  int64
+	Dropped  int64
+	// PeakQueueDepth is the high-water submission-queue depth.
+	PeakQueueDepth int
 }
 
 // Probe snapshots the node's progress. It must run on the node's event
@@ -223,6 +255,13 @@ func (n *Node) Probe() Probe {
 	p.RelRetransmits = n.protocol.RelRetransmits()
 	p.RelNacks = n.protocol.RelNacks()
 	p.RelHandoffs = n.protocol.RelHandoffs()
+	if n.adm != nil {
+		st := n.adm.Stats()
+		p.Admitted = st.Admitted
+		p.Deduped = st.Deduped
+		p.Dropped = st.Dropped
+		p.PeakQueueDepth = st.PeakQueueDepth
+	}
 	return p
 }
 
@@ -237,6 +276,9 @@ func (n *Node) Protocol() *core.Protocol { return n.protocol }
 
 // Init implements proto.Handler.
 func (n *Node) Init(ctx proto.Context) {
+	if n.cfg.Admission != nil {
+		n.adm = workload.NewAdmission(*n.cfg.Admission, ctx.Self(), nil)
+	}
 	n.protocol.Init(ctx)
 	if n.cfg.Mine {
 		ctx.SetTimer(n.nextMineDelay(ctx), mineTimer{})
@@ -263,31 +305,92 @@ func (n *Node) SubmitTx(ctx proto.Context, payload []byte, fee uint64) (chain.Tx
 }
 
 // Broadcast implements proto.Broadcaster: the payload must be an encoded
-// transaction, which also enters the local mempool.
+// transaction, which also enters the local mempool. With admission
+// mounted, the launch is routed through the queue — the MsgID returns
+// immediately and protocol-level launch errors surface in the counters
+// rather than here.
 func (n *Node) Broadcast(ctx proto.Context, payload []byte) (proto.MsgID, error) {
 	if _, err := n.mempool.AddEncoded(payload); err != nil {
 		return proto.MsgID{}, err
 	}
-	return n.protocol.Broadcast(ctx, payload)
+	if n.adm == nil {
+		return n.protocol.Broadcast(ctx, payload)
+	}
+	id := proto.NewMsgID(payload)
+	n.offerSubmit(ctx, workload.Pending{ID: id, Payload: payload, Seq: -1, At: ctx.Now()})
+	return id, nil
 }
 
 // HandleMessage implements proto.Handler.
 func (n *Node) HandleMessage(ctx proto.Context, from proto.NodeID, msg proto.Message) {
-	if bm, ok := msg.(*BlockMsg); ok {
-		n.handleBlock(ctx, from, bm)
-		return
+	switch m := msg.(type) {
+	case *BlockMsg:
+		n.handleBlock(ctx, from, m)
+	case *workload.SubmitMsg:
+		// Client transaction submission over the wire: same path as a
+		// local Broadcast (mempool + admission when mounted); malformed
+		// payloads are dropped.
+		_, _ = n.Broadcast(ctx, m.Payload)
+	default:
+		n.protocol.HandleMessage(ctx, from, msg)
 	}
-	n.protocol.HandleMessage(ctx, from, msg)
 }
 
 // HandleTimer implements proto.Handler.
 func (n *Node) HandleTimer(ctx proto.Context, payload any) {
-	if _, ok := payload.(mineTimer); ok {
+	switch p := payload.(type) {
+	case mineTimer:
 		n.mine(ctx)
 		ctx.SetTimer(n.nextMineDelay(ctx), mineTimer{})
-		return
+	case submitDrain:
+		n.drainSubmit(ctx)
+	case submitRetry:
+		n.offerSubmit(ctx, p.p)
+	default:
+		n.protocol.HandleTimer(ctx, payload)
 	}
-	n.protocol.HandleTimer(ctx, payload)
+}
+
+// offerSubmit runs one submission through admission and schedules its
+// launch; only called with admission mounted.
+func (n *Node) offerSubmit(ctx proto.Context, p workload.Pending) {
+	switch n.adm.Offer(p) {
+	case workload.Admitted:
+		if n.cfg.SubmitService <= 0 {
+			for {
+				q, ok := n.adm.Pop()
+				if !ok {
+					return
+				}
+				n.launchSubmit(ctx, q)
+			}
+		}
+		if !n.draining {
+			n.draining = true
+			ctx.SetTimer(n.cfg.SubmitService, submitDrain{})
+		}
+	case workload.Blocked:
+		ctx.SetTimer(submitRetryDelay, submitRetry{p: p})
+	}
+}
+
+// drainSubmit launches the queue head and re-arms the service timer
+// while work remains.
+func (n *Node) drainSubmit(ctx proto.Context) {
+	if p, ok := n.adm.Pop(); ok {
+		n.launchSubmit(ctx, p)
+	}
+	if n.adm.Depth() > 0 {
+		ctx.SetTimer(n.cfg.SubmitService, submitDrain{})
+	} else {
+		n.draining = false
+	}
+}
+
+func (n *Node) launchSubmit(ctx proto.Context, p workload.Pending) {
+	// The transaction is already in the mempool; a protocol refusal
+	// (e.g. DC-net round budget exhausted) only loses the broadcast.
+	_, _ = n.protocol.Broadcast(ctx, p.Payload)
 }
 
 // OnDeliver is the broadcast-delivery hook: wire it to the runtime's
@@ -295,6 +398,11 @@ func (n *Node) HandleTimer(ctx proto.Context, payload any) {
 func (n *Node) OnDeliver(payload []byte) {
 	if tx, err := chain.DecodeTx(payload); err == nil {
 		n.mempool.Add(tx)
+		if n.adm != nil {
+			// A gossip-received transaction is in the mempool: later
+			// submissions of it dedup.
+			n.adm.MarkSeen(proto.NewMsgID(payload))
+		}
 	}
 }
 

@@ -19,7 +19,9 @@ type blockchainWorld struct {
 	nodes []*Node
 }
 
-func newBlockchainWorld(t *testing.T, n int, group []proto.NodeID, miners map[proto.NodeID]bool) *blockchainWorld {
+// newBlockchainWorld builds n full nodes; optional mutators adjust each
+// node's Config before construction.
+func newBlockchainWorld(t *testing.T, n int, group []proto.NodeID, miners map[proto.NodeID]bool, muts ...func(id proto.NodeID, cfg *Config)) *blockchainWorld {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(17, 18))
 	g, err := topology.RandomRegular(n, 6, rng)
@@ -56,6 +58,9 @@ func newBlockchainWorld(t *testing.T, n int, group []proto.NodeID, miners map[pr
 		}
 		if inGroup[id] {
 			cfg.Core.Group = group
+		}
+		for _, mut := range muts {
+			mut(id, &cfg)
 		}
 		node, err := New(cfg)
 		if err != nil {

@@ -50,6 +50,7 @@ import (
 	"repro/internal/relchan"
 	"repro/internal/topology"
 	"repro/internal/wire"
+	"repro/internal/workload"
 )
 
 // Variant selects which protocol stack the scenario runs.
@@ -355,6 +356,7 @@ func newCodec() *wire.Codec {
 	relchan.RegisterMessages(c)
 	group.RegisterMessages(c)
 	node.RegisterMessages(c)
+	workload.RegisterMessages(c)
 	return c
 }
 

@@ -40,11 +40,12 @@ const (
 	RangeGroup     MsgType = 0x0600
 	RangeChain     MsgType = 0x0700
 	RangeRelChan   MsgType = 0x0800
+	RangeWorkload  MsgType = 0x0900
 
 	// RangeEnd is the exclusive upper bound of the allocated type space.
 	// Full-space sweeps (the parity harness's per-type accounting) use
 	// it, so a new range added above must bump it alongside.
-	RangeEnd MsgType = 0x0900
+	RangeEnd MsgType = 0x0A00
 )
 
 // Message is any protocol message. Concrete messages also implement

@@ -433,6 +433,27 @@ func (n *Network) InjectTimer(id proto.NodeID, payload any) {
 	})
 }
 
+// InjectTimerAt schedules HandleTimer(payload) at the node at absolute
+// virtual time at — the arrival-injection hook of the workload engine:
+// a whole arrival schedule is installed up front (like the netem churn
+// schedule) and each event fires on its target node's shard engine.
+// Injected events ride the engine's control stream, which sorts ahead
+// of same-instant node events, and successive InjectTimerAt calls for
+// one engine preserve their call order at equal times — so a schedule
+// installed in deterministic order replays identically at any shard
+// count. Events for crashed nodes are silently skipped at fire time.
+// Must be called after Start (times are relative to a running clock)
+// and with at >= the node's current time.
+func (n *Network) InjectTimerAt(at time.Duration, id proto.NodeID, payload any) {
+	node := &n.nodes[id]
+	node.eng.Schedule(at-node.eng.Now(), func() {
+		if node.crashed {
+			return
+		}
+		node.handler.HandleTimer(node, payload)
+	})
+}
+
 // Crash takes a node offline: its timers stop firing and messages to it
 // are dropped at delivery time.
 func (n *Network) Crash(id proto.NodeID) { n.nodes[id].crashed = true }

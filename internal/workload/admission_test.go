@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func pend(b byte) Pending {
+	payload := []byte{b}
+	return Pending{ID: proto.NewMsgID(payload), Payload: payload}
+}
+
+func TestAdmissionDedup(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{}, 0, nil)
+	p := pend(1)
+	if v := a.Offer(p); v != Admitted {
+		t.Fatalf("first offer = %v, want Admitted", v)
+	}
+	if v := a.Offer(p); v != Dup {
+		t.Fatalf("second offer = %v, want Dup", v)
+	}
+	// Dedup survives the launch: popping does not unmark.
+	a.Pop()
+	if v := a.Offer(p); v != Dup {
+		t.Fatalf("offer after pop = %v, want Dup", v)
+	}
+	st := a.Stats()
+	if st.Admitted != 1 || st.Deduped != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionDropOldest(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{QueueCap: 2, Policy: DropOldest}, 0, nil)
+	p1, p2, p3 := pend(1), pend(2), pend(3)
+	a.Offer(p1)
+	a.Offer(p2)
+	if v := a.Offer(p3); v != Admitted {
+		t.Fatalf("offer at cap = %v, want Admitted (evicting head)", v)
+	}
+	if a.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", a.Depth())
+	}
+	got, _ := a.Pop()
+	if got.ID != p2.ID {
+		t.Fatal("eviction removed the wrong entry")
+	}
+	// The evictee stays marked: a shed transaction is not re-admitted.
+	if v := a.Offer(p1); v != Dup {
+		t.Fatalf("re-offer of evictee = %v, want Dup", v)
+	}
+	st := a.Stats()
+	if st.Admitted != 3 || st.Dropped != 1 || st.PeakQueueDepth != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionReject(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{QueueCap: 1, Policy: Reject}, 0, nil)
+	p1, p2 := pend(1), pend(2)
+	a.Offer(p1)
+	if v := a.Offer(p2); v != Rejected {
+		t.Fatalf("offer at cap = %v, want Rejected", v)
+	}
+	// A rejected submission is not marked seen: once the queue drains
+	// it can be admitted.
+	a.Pop()
+	if v := a.Offer(p2); v != Admitted {
+		t.Fatalf("re-offer after drain = %v, want Admitted", v)
+	}
+	st := a.Stats()
+	if st.Admitted != 2 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionBlock(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{QueueCap: 1, Policy: Block}, 0, nil)
+	p1, p2 := pend(1), pend(2)
+	a.Offer(p1)
+	if v := a.Offer(p2); v != Blocked {
+		t.Fatalf("offer at cap = %v, want Blocked", v)
+	}
+	a.Pop()
+	if v := a.Offer(p2); v != Admitted {
+		t.Fatalf("retry after drain = %v, want Admitted", v)
+	}
+	st := a.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("Block counted drops: %+v", st)
+	}
+}
+
+func TestAdmissionFIFOAndGrowth(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{}, 0, nil)
+	const n = 100 // forces several ring growths through interleaved pops
+	var offered []Pending
+	for i := 0; i < n; i++ {
+		p := pend(byte(i))
+		p.Payload = []byte{byte(i), byte(i >> 8), 0xFF}
+		p.ID = proto.NewMsgID(p.Payload)
+		offered = append(offered, p)
+		a.Offer(p)
+		if i%3 == 0 {
+			a.Pop()
+			offered = offered[1:]
+		}
+	}
+	for len(offered) > 0 {
+		got, ok := a.Pop()
+		if !ok || got.ID != offered[0].ID {
+			t.Fatal("FIFO order violated across ring growth")
+		}
+		offered = offered[1:]
+	}
+	if _, ok := a.Pop(); ok {
+		t.Fatal("Pop on empty queue returned an entry")
+	}
+}
+
+func TestSharedPartitionTables(t *testing.T) {
+	const n = 10
+	s := NewShared(n)
+	s.Partition(3)
+	// Each node's table must accept marks for that node — the partition
+	// cell covers it.
+	for v := 0; v < n; v++ {
+		tab := s.Table(proto.NodeID(v))
+		if !tab.Vec(pend(byte(v)).ID).Mark(proto.NodeID(v)) {
+			t.Fatalf("node %d could not mark in its partition cell", v)
+		}
+	}
+	s.Reset()
+	for v := 0; v < n; v++ {
+		tab := s.Table(proto.NodeID(v))
+		if vec := tab.Lookup(pend(byte(v)).ID); vec != nil && vec.Has(proto.NodeID(v)) {
+			t.Fatalf("node %d still marked after Reset", v)
+		}
+	}
+}

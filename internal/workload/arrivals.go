@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Arrival is one scheduled transaction submission.
+type Arrival struct {
+	// At is the submission instant (virtual time from run start).
+	At time.Duration
+	// Seq is the arrival's index in the schedule.
+	Seq int
+	// User is the originating simulated user.
+	User uint64
+	// Node is the node the submission lands on: the user's home node
+	// (a fixed hash of the user ID over the originator set), or a
+	// uniform re-draw for resubmissions.
+	Node proto.NodeID
+	// Payload is the submitted transaction bytes. Resubmissions alias
+	// the original arrival's payload, so they carry the same MsgID.
+	Payload []byte
+	// Orig is the Seq of the arrival this one duplicates; Orig == Seq
+	// for fresh submissions.
+	Orig int
+}
+
+// resubWindow bounds how far back a resubmission reaches: duplicates
+// in real gossip are bursts around the original, not uniform history.
+const resubWindow = 256
+
+// Schedule expands a normalized Spec into the full arrival schedule
+// for one run: a pure function of (spec, seed, duration, originators),
+// so the same inputs yield a bit-identical schedule anywhere — across
+// -par workers, after a network Reset, at any shard count. Arrivals
+// are strictly time-ordered (ties keep generation order) and land only
+// on originator nodes. Panics on a non-normalized spec (call
+// Spec.Normalize or use ParseRateSpec).
+func Schedule(spec Spec, seed uint64, duration time.Duration, originators []proto.NodeID) []Arrival {
+	norm, err := spec.Normalize()
+	if err != nil {
+		panic("workload: Schedule on invalid spec: " + err.Error())
+	}
+	spec = norm
+	if len(originators) == 0 {
+		panic("workload: Schedule with no originators")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9a7c_57ab_1234_ee01))
+	zip := newZipf(rng, spec.ZipfS, uint64(spec.Users-1))
+
+	est := int(spec.Rate * duration.Seconds())
+	out := make([]Arrival, 0, est+16)
+	var at time.Duration
+	for i := 0; ; i++ {
+		if len(spec.Trace) > 0 {
+			at += spec.Trace[i%len(spec.Trace)]
+		} else {
+			at += time.Duration(rng.ExpFloat64() / spec.Rate * float64(time.Second))
+		}
+		if at > duration {
+			break
+		}
+		seq := len(out)
+		a := Arrival{At: at, Seq: seq, Orig: seq}
+		if spec.Resubmit > 0 && seq > 0 && rng.Float64() < spec.Resubmit {
+			back := seq
+			if back > resubWindow {
+				back = resubWindow
+			}
+			src := &out[seq-1-rng.IntN(back)]
+			a.User = src.User
+			a.Orig = src.Orig
+			a.Payload = out[a.Orig].Payload
+			a.Node = originators[rng.IntN(len(originators))]
+		} else {
+			a.User = zip.Uint64()
+			a.Node = originators[int(userHome(a.User)%uint64(len(originators)))]
+			a.Payload = arrivalPayload(seed, a.User, uint64(seq))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// userHome maps a user to a stable position over the originator set —
+// seed-independent, so a user's home node does not move between runs.
+func userHome(user uint64) uint64 {
+	// splitmix64 finalizer: users are Zipf-ranked small integers, and
+	// the mix spreads consecutive ranks across the node set.
+	x := user + 0x9e37_79b9_7f4a_7c15
+	x = (x ^ (x >> 30)) * 0xbf58_476d_1ce4_e5b9
+	x = (x ^ (x >> 27)) * 0x94d0_49bb_1331_11eb
+	return x ^ (x >> 31)
+}
+
+// arrivalPayload builds the unique 24-byte transaction body
+// (seed, user, seq): unique per arrival within and across runs, so
+// MsgIDs never collide between trials sharing a reused network.
+func arrivalPayload(seed, user, seq uint64) []byte {
+	p := make([]byte, 24)
+	binary.LittleEndian.PutUint64(p[0:], seed)
+	binary.LittleEndian.PutUint64(p[8:], user)
+	binary.LittleEndian.PutUint64(p[16:], seq)
+	return p
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func testOriginators(n int) []proto.NodeID {
+	out := make([]proto.NodeID, n)
+	for i := range out {
+		out[i] = proto.NodeID(i)
+	}
+	return out
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	spec := Spec{Rate: 500, Resubmit: 0.1}
+	orig := testOriginators(16)
+	a := Schedule(spec, 7, 2*time.Second, orig)
+	b := Schedule(spec, 7, 2*time.Second, orig)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (spec, seed) produced different schedules")
+	}
+	c := Schedule(spec, 8, 2*time.Second, orig)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) < 500 {
+		t.Fatalf("rate 500 over 2s produced only %d arrivals", len(a))
+	}
+}
+
+func TestScheduleOrderedAndOnOriginators(t *testing.T) {
+	orig := []proto.NodeID{3, 9, 12}
+	on := map[proto.NodeID]bool{3: true, 9: true, 12: true}
+	sched := Schedule(Spec{Rate: 1000, Resubmit: 0.2}, 1, time.Second, orig)
+	var prev time.Duration
+	for i, a := range sched {
+		if a.At < prev {
+			t.Fatalf("arrival %d at %v before predecessor at %v", i, a.At, prev)
+		}
+		prev = a.At
+		if a.At > time.Second {
+			t.Fatalf("arrival %d at %v past the duration", i, a.At)
+		}
+		if !on[a.Node] {
+			t.Fatalf("arrival %d landed on non-originator %d", i, a.Node)
+		}
+		if a.Seq != i {
+			t.Fatalf("arrival %d has Seq %d", i, a.Seq)
+		}
+	}
+}
+
+func TestScheduleResubmitAliases(t *testing.T) {
+	sched := Schedule(Spec{Rate: 2000, Resubmit: 0.3}, 3, time.Second, testOriginators(8))
+	resubs := 0
+	for i, a := range sched {
+		if a.Orig == a.Seq {
+			continue
+		}
+		resubs++
+		src := sched[a.Orig]
+		if src.Orig != src.Seq {
+			t.Fatalf("arrival %d resubmits %d which is itself a resubmission", i, a.Orig)
+		}
+		if proto.NewMsgID(a.Payload) != proto.NewMsgID(src.Payload) {
+			t.Fatalf("resubmission %d has a different MsgID than its original %d", i, a.Orig)
+		}
+		if a.User != src.User {
+			t.Fatalf("resubmission %d changed user", i)
+		}
+	}
+	if resubs == 0 {
+		t.Fatal("resubmit=0.3 produced no resubmissions")
+	}
+}
+
+func TestScheduleTraceCycles(t *testing.T) {
+	gaps := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond}
+	sched := Schedule(Spec{Trace: gaps}, 1, 100*time.Millisecond, testOriginators(4))
+	want := []time.Duration{10, 40, 50, 80, 90}
+	if len(sched) != len(want) {
+		t.Fatalf("trace schedule has %d arrivals, want %d", len(sched), len(want))
+	}
+	for i, w := range want {
+		if sched[i].At != w*time.Millisecond {
+			t.Fatalf("arrival %d at %v, want %v", i, sched[i].At, w*time.Millisecond)
+		}
+	}
+}
+
+func TestScheduleZipfSkew(t *testing.T) {
+	// With heavy skew, the most popular user must dominate: Zipf with
+	// s=1.5 gives rank 0 a constant share; uniform over a million users
+	// would essentially never repeat.
+	sched := Schedule(Spec{Rate: 5000, ZipfS: 1.5}, 11, time.Second, testOriginators(8))
+	counts := map[uint64]int{}
+	for _, a := range sched {
+		counts[a.User]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if top < len(sched)/10 {
+		t.Fatalf("top user originated %d/%d arrivals; Zipf s=1.5 should concentrate far more", top, len(sched))
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d distinct users; the tail should be long", len(counts))
+	}
+}
+
+func TestSchedulePayloadsUniqueAcrossSeeds(t *testing.T) {
+	orig := testOriginators(4)
+	a := Schedule(Spec{Rate: 500}, 1, time.Second, orig)
+	b := Schedule(Spec{Rate: 500}, 2, time.Second, orig)
+	seen := map[proto.MsgID]bool{}
+	for _, s := range a {
+		seen[proto.NewMsgID(s.Payload)] = true
+	}
+	for _, s := range b {
+		if seen[proto.NewMsgID(s.Payload)] {
+			t.Fatal("payload collides across seeds; reused networks would cross-talk")
+		}
+	}
+}
+
+func TestScheduleInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule accepted an invalid spec")
+		}
+	}()
+	Schedule(Spec{Rate: -1}, 1, time.Second, testOriginators(2))
+}

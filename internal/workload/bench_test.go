@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// BenchmarkWorkloadInject measures arrival-schedule generation: 10k
+// Poisson arrivals with Zipf originator draws and a resubmit stream.
+func BenchmarkWorkloadInject(b *testing.B) {
+	spec := Spec{Rate: 10_000, Resubmit: 0.1}
+	orig := testOriginators(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched := Schedule(spec, uint64(i+1), time.Second, orig)
+		if len(sched) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkWorkloadMempoolAdmit measures the admission hot path: offer
+// with dedup lookup, bounded-ring enqueue, and drop-oldest eviction,
+// with a duplicate mixed in every fourth offer.
+func BenchmarkWorkloadMempoolAdmit(b *testing.B) {
+	const pre = 4096
+	ids := make([]Pending, pre)
+	for i := range ids {
+		p := []byte{byte(i), byte(i >> 8), byte(i >> 16), 0xAB}
+		ids[i] = Pending{ID: proto.NewMsgID(p), Payload: p}
+	}
+	a := NewAdmission(AdmissionConfig{QueueCap: 256, Policy: DropOldest}, 0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ids[i%pre]
+		if i%4 == 3 {
+			p = ids[(i-1)%pre] // duplicate: hits the dedup path
+		}
+		a.Offer(p)
+	}
+}
+
+// BenchmarkWorkloadSoakFlood10k measures the full soak pipeline on a
+// 10,000-node flood overlay: schedule, admission, launch pacing,
+// dissemination and the latency-sketch collection. One iteration is
+// one complete (short) soak run on a reused fixture.
+func BenchmarkWorkloadSoakFlood10k(b *testing.B) {
+	s := NewSoakNet(SoakConfig{
+		Spec:     Spec{Rate: 100},
+		Duration: 100 * time.Millisecond,
+		Drain:    time.Second,
+		N:        10_000,
+		Degree:   8,
+		Seed:     1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.Run(uint64(i+1), nil)
+		if r.Coverage < 0.99 {
+			b.Fatalf("coverage %.3f", r.Coverage)
+		}
+	}
+}

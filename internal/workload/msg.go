@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// TypeSubmit is the wire type of transaction submissions.
+const TypeSubmit = proto.RangeWorkload + 1
+
+// SubmitMsg carries a client transaction submission to a node's
+// admission layer — the open-world ingress path. The payload is opaque
+// to workload (internal/node treats it as an encoded transaction); its
+// proto.NewMsgID is the admission dedup key.
+type SubmitMsg struct {
+	Payload []byte
+}
+
+var _ wire.Encodable = (*SubmitMsg)(nil)
+
+// Type implements proto.Message.
+func (*SubmitMsg) Type() proto.MsgType { return TypeSubmit }
+
+// EncodeTo implements wire.Encodable.
+func (m *SubmitMsg) EncodeTo(w *wire.Writer) {
+	w.ByteString(m.Payload)
+}
+
+// DecodeFrom implements wire.Encodable.
+func (m *SubmitMsg) DecodeFrom(r *wire.Reader) error {
+	m.Payload = r.ByteString()
+	return r.Err()
+}
+
+// RegisterMessages adds this package's messages to a codec.
+func RegisterMessages(c *wire.Codec) {
+	c.Register(TypeSubmit, func() wire.Encodable { return new(SubmitMsg) })
+}

@@ -1,0 +1,24 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func TestSoakReuseEqualsFreshNetem(t *testing.T) {
+	cfg := soakCfg()
+	p := netem.Profile{Name: "loss5", Latency: netem.Const(50 * time.Millisecond), Jitter: netem.Uniform{Hi: 20 * time.Millisecond}, Loss: 0.05}
+	cfg.Netem = &p
+	w := NewSoakNet(cfg)
+	_ = w.Run(3, nil)
+	reused := w.Run(5, nil)
+	fresh := NewSoakNet(cfg).Run(5, nil)
+	reused = normalizeResult(reused)
+	fresh = normalizeResult(fresh)
+	if !reflect.DeepEqual(reused, fresh) {
+		t.Fatalf("reuse != fresh under netem\nreused: %+v\nfresh:  %+v", reused, fresh)
+	}
+}

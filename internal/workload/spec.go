@@ -1,0 +1,186 @@
+// Package workload is the open-world traffic engine: deterministic,
+// seeded transaction streams from a large simulated user population,
+// mempool-style admission at each node (dedup, bounded queue,
+// backpressure), and the soak harness that drives sustained load
+// through the simulator and reports service-level numbers (msgs/s,
+// delivery-latency quantiles, queue depths). See DESIGN.md §2i.
+//
+// Everything is a pure function of (Spec, seed): the arrival schedule,
+// the user→node mapping, the Zipf popularity draws. Two calls with the
+// same inputs produce bit-identical schedules, which is what lets soak
+// results stay deterministic at any -par or shard count.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec describes one open-world arrival process. Parse one from the
+// CLI syntax with ParseRateSpec, or fill the fields directly and call
+// Normalize.
+type Spec struct {
+	// Rate is the Poisson mean arrival rate in transactions/second
+	// (network-wide). Ignored when Trace is set.
+	Rate float64
+	// Trace, when non-empty, replaces the Poisson process with
+	// trace-driven interarrival gaps, cycled for the run's duration.
+	Trace []time.Duration
+	// Users is the simulated user population size (default 1_000_000).
+	// Each arrival draws its originating user Zipf-skewed from this
+	// population; users map to nodes by a fixed seed-independent hash.
+	Users int
+	// ZipfS is the Zipf skew exponent s > 1 (default 1.1): a handful
+	// of heavy users originate much of the traffic, the long tail the
+	// rest.
+	ZipfS float64
+	// Resubmit is the fraction of arrivals in [0,1) that re-submit a
+	// recently seen transaction at a uniformly random node instead of
+	// creating a new one — the duplicate stream that exercises
+	// admission dedup (default 0).
+	Resubmit float64
+}
+
+// Normalize applies defaults and validates, returning the canonical
+// spec. ParseRateSpec output is always normalized.
+func (s Spec) Normalize() (Spec, error) {
+	if s.Users == 0 {
+		s.Users = 1_000_000
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.1
+	}
+	if len(s.Trace) == 0 && s.Rate <= 0 {
+		return s, fmt.Errorf("workload: rate must be positive (got %g)", s.Rate)
+	}
+	if len(s.Trace) > 0 {
+		var sum time.Duration
+		for _, g := range s.Trace {
+			if g < 0 {
+				return s, fmt.Errorf("workload: negative trace gap %v", g)
+			}
+			sum += g
+		}
+		if sum <= 0 {
+			return s, fmt.Errorf("workload: trace gaps sum to zero")
+		}
+		s.Rate = 0
+	}
+	if s.Users < 1 {
+		return s, fmt.Errorf("workload: users must be >= 1 (got %d)", s.Users)
+	}
+	if s.ZipfS <= 1 {
+		return s, fmt.Errorf("workload: zipf exponent must be > 1 (got %g)", s.ZipfS)
+	}
+	if s.Resubmit < 0 || s.Resubmit >= 1 {
+		return s, fmt.Errorf("workload: resubmit fraction must be in [0,1) (got %g)", s.Resubmit)
+	}
+	return s, nil
+}
+
+// String renders the spec in canonical ParseRateSpec syntax; the round
+// trip ParseRateSpec(s.String()) reproduces s exactly for normalized
+// specs (fuzzed by FuzzParseRateSpec).
+func (s Spec) String() string {
+	var b strings.Builder
+	if len(s.Trace) > 0 {
+		b.WriteString("trace:")
+		for i, g := range s.Trace {
+			if i > 0 {
+				b.WriteByte('/')
+			}
+			b.WriteString(g.String())
+		}
+	} else {
+		b.WriteString("poisson:")
+		b.WriteString(strconv.FormatFloat(s.Rate, 'g', -1, 64))
+	}
+	fmt.Fprintf(&b, ",users=%d", s.Users)
+	b.WriteString(",zipf=" + strconv.FormatFloat(s.ZipfS, 'g', -1, 64))
+	if s.Resubmit > 0 {
+		b.WriteString(",resub=" + strconv.FormatFloat(s.Resubmit, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// ParseRateSpec parses the workload spec syntax (the `flexsim -rate`
+// and `flexnode -soak -rate` vocabulary), mirroring netem.ParseProfile:
+// a rate form first, then comma-separated key=value options —
+//
+//	500                     Poisson, 500 tx/s
+//	poisson:2e3             Poisson, 2000 tx/s
+//	trace:10ms/25ms/5ms     trace-driven interarrival gaps, cycled
+//	500,users=2000000,zipf=1.3,resub=0.05
+//
+// The result is normalized and validated.
+func ParseRateSpec(spec string) (Spec, error) {
+	var s Spec
+	items := strings.Split(spec, ",")
+	for i, item := range items {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return s, fmt.Errorf("workload: empty item in spec %q", spec)
+		}
+		key, val, hasEq := strings.Cut(item, "=")
+		if !hasEq {
+			if i != 0 {
+				return s, fmt.Errorf("workload: rate form %q must come first in %q", item, spec)
+			}
+			if err := parseRateForm(&s, item); err != nil {
+				return s, err
+			}
+			continue
+		}
+		if i == 0 {
+			return s, fmt.Errorf("workload: spec %q must start with a rate form (e.g. \"500\" or \"trace:10ms/20ms\")", spec)
+		}
+		var err error
+		switch key {
+		case "users":
+			s.Users, err = strconv.Atoi(val)
+			if err == nil && s.Users < 1 {
+				return s, fmt.Errorf("workload: users must be >= 1 (got %d)", s.Users)
+			}
+		case "zipf":
+			s.ZipfS, err = strconv.ParseFloat(val, 64)
+		case "resub":
+			s.Resubmit, err = strconv.ParseFloat(val, 64)
+		default:
+			return s, fmt.Errorf("workload: unknown key %q in %q", key, spec)
+		}
+		if err != nil {
+			return s, fmt.Errorf("workload: %s=%s: %w", key, val, err)
+		}
+	}
+	return s.Normalize()
+}
+
+// parseRateForm parses the leading rate item: a bare rate, poisson:R,
+// or trace:d/d/….
+func parseRateForm(s *Spec, item string) error {
+	switch {
+	case strings.HasPrefix(item, "poisson:"):
+		r, err := strconv.ParseFloat(strings.TrimPrefix(item, "poisson:"), 64)
+		if err != nil {
+			return fmt.Errorf("workload: %s: %w", item, err)
+		}
+		s.Rate = r
+	case strings.HasPrefix(item, "trace:"):
+		for _, part := range strings.Split(strings.TrimPrefix(item, "trace:"), "/") {
+			g, err := time.ParseDuration(part)
+			if err != nil {
+				return fmt.Errorf("workload: trace gap %q: %w", part, err)
+			}
+			s.Trace = append(s.Trace, g)
+		}
+	default:
+		r, err := strconv.ParseFloat(item, 64)
+		if err != nil {
+			return fmt.Errorf("workload: rate %q: %w", item, err)
+		}
+		s.Rate = r
+	}
+	return nil
+}

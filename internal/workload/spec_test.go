@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRateSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		err  string
+	}{
+		{in: "500", want: Spec{Rate: 500, Users: 1_000_000, ZipfS: 1.1}},
+		{in: "poisson:2e3", want: Spec{Rate: 2000, Users: 1_000_000, ZipfS: 1.1}},
+		{
+			in: "trace:10ms/25ms/5ms",
+			want: Spec{
+				Trace: []time.Duration{10 * time.Millisecond, 25 * time.Millisecond, 5 * time.Millisecond},
+				Users: 1_000_000, ZipfS: 1.1,
+			},
+		},
+		{
+			in:   "500,users=2000000,zipf=1.3,resub=0.05",
+			want: Spec{Rate: 500, Users: 2_000_000, ZipfS: 1.3, Resubmit: 0.05},
+		},
+		{in: "0", err: "rate must be positive"},
+		{in: "-3", err: "rate must be positive"},
+		{in: "", err: "empty item"},
+		{in: "users=5", err: "must start with a rate form"},
+		{in: "500,bogus=1", err: "unknown key"},
+		{in: "500,users=x", err: "users=x"},
+		{in: "500,zipf=1", err: "zipf exponent must be > 1"},
+		{in: "500,resub=1", err: "resubmit fraction must be in [0,1)"},
+		{in: "500,users=0", err: "users must be >= 1"},
+		{in: "trace:-1ms", err: "negative trace gap"},
+		{in: "trace:0s/0s", err: "trace gaps sum to zero"},
+		{in: "trace:zzz", err: "trace gap"},
+		{in: "500,200", err: "rate form \"200\" must come first"},
+	}
+	for _, tc := range cases {
+		got, err := ParseRateSpec(tc.in)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Errorf("ParseRateSpec(%q) err = %v, want containing %q", tc.in, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseRateSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseRateSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"500",
+		"poisson:2e3,users=42,zipf=1.5",
+		"trace:10ms/25ms",
+		"1000,resub=0.25",
+	}
+	for _, in := range specs {
+		s, err := ParseRateSpec(in)
+		if err != nil {
+			t.Fatalf("ParseRateSpec(%q): %v", in, err)
+		}
+		back, err := ParseRateSpec(s.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", s.String(), in, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("round trip %q: %+v != %+v (via %q)", in, s, back, s.String())
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{DropOldest, Reject, Block} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != DropOldest {
+		t.Errorf("ParsePolicy(\"\") = %v, %v; want DropOldest default", p, err)
+	}
+	if _, err := ParsePolicy("never"); err == nil {
+		t.Error("ParsePolicy(\"never\") accepted")
+	}
+}
+
+// FuzzParseRateSpec checks the parser never panics and that every
+// accepted spec survives a canonical String round trip.
+func FuzzParseRateSpec(f *testing.F) {
+	f.Add("500")
+	f.Add("poisson:2e3,users=1000,zipf=1.2,resub=0.1")
+	f.Add("trace:10ms/25ms/5ms,users=7")
+	f.Add("trace:1h,zipf=2")
+	f.Add(",,,")
+	f.Add("500,users=-1")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseRateSpec(in)
+		if err != nil {
+			return
+		}
+		back, err := ParseRateSpec(s.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s.String(), in, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip of %q: %+v != %+v", in, s, back)
+		}
+	})
+}

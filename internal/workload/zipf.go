@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// zipf draws Zipf-distributed variates over {0 … imax}:
+// P(k) ∝ (1+k)^(−s). math/rand/v2 dropped the v1 Zipf generator, so
+// this is a fresh implementation of the standard rejection-inversion
+// sampler (Hörmann & Derflinger, "Rejection-inversion to generate
+// variates from monotone discrete distributions", 1996) — constant
+// expected time per draw at any skew, consuming exactly one Float64
+// per accepted proposal round, which keeps the arrival schedule a pure
+// function of the RNG stream.
+type zipf struct {
+	rng             *rand.Rand
+	imax            float64
+	q               float64 // skew exponent s
+	oneMinusQ       float64
+	oneMinusQInv    float64
+	hIntegralX1     float64 // H(1.5) − h(1)
+	hIntegralXmax   float64 // H(imax + 0.5)
+	hIntegralX0Diff float64 // H(0.5) − h(0) − H(imax+0.5)
+	s               float64 // acceptance shortcut threshold
+}
+
+// newZipf returns a sampler for exponent q > 1 over {0 … imax}.
+func newZipf(rng *rand.Rand, q float64, imax uint64) *zipf {
+	z := &zipf{rng: rng, imax: float64(imax), q: q}
+	z.oneMinusQ = 1 - q
+	z.oneMinusQInv = 1 / z.oneMinusQ
+	z.hIntegralXmax = z.hIntegral(z.imax + 0.5)
+	z.hIntegralX0Diff = z.hIntegral(0.5) - 1 - z.hIntegralXmax
+	z.s = 1 - z.hIntegralInv(z.hIntegral(1.5)-math.Exp(-z.q*math.Log(2)))
+	return z
+}
+
+// hIntegral is H(x) = ((1+x)^(1−q))/(1−q), the antiderivative of the
+// density h(x) = (1+x)^(−q).
+func (z *zipf) hIntegral(x float64) float64 {
+	return math.Exp(z.oneMinusQ*math.Log(1+x)) * z.oneMinusQInv
+}
+
+// hIntegralInv is H⁻¹.
+func (z *zipf) hIntegralInv(x float64) float64 {
+	return math.Exp(z.oneMinusQInv*math.Log(z.oneMinusQ*x)) - 1
+}
+
+// Uint64 draws one variate in {0 … imax}.
+func (z *zipf) Uint64() uint64 {
+	for {
+		r := z.rng.Float64()
+		ur := z.hIntegralXmax + r*z.hIntegralX0Diff
+		x := z.hIntegralInv(ur)
+		k := math.Floor(x + 0.5)
+		if k < 0 {
+			k = 0
+		} else if k > z.imax {
+			k = z.imax
+		}
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.hIntegral(k+0.5)-math.Exp(-z.q*math.Log(k+1)) {
+			return uint64(k)
+		}
+	}
+}
