@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/experiments"
 	"repro/internal/flood"
 	"repro/internal/metrics"
@@ -219,6 +220,59 @@ func BenchmarkE14Flood1M(b *testing.B) {
 	b.ReportMetric(perCore, "Mevents/s/core")
 	b.ReportMetric(float64(net.ShardCount()), "shards")
 }
+
+// benchShardedTappedFlood measures a full N=100k flood broadcast with a
+// spy Observer (1% corrupted nodes) tapped in and the event loop split
+// across k shards (k=1 is the single-loop baseline, where taps fire
+// inline). The delta against the untapped ShardedFlood numbers is the
+// cost of the per-shard observation logs plus the barrier merge-replay
+// (sim/obs.go) — the hot path the tap de-clamp added, gated like every
+// other one.
+func benchShardedTappedFlood(b *testing.B, k int) {
+	g, err := topology.RandomRegular(100_000, 8, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := sim.NewNetwork(g, sim.Options{Seed: 1, Latency: sim.ConstLatency(50 * time.Millisecond), Shards: k})
+	corrupted := adversary.SampleCorrupted(g.N(), 0.01, rand.New(rand.NewPCG(3, 4)))
+	obs := adversary.NewObserver(corrupted)
+	net.AddTap(obs)
+	shared := flood.NewShared(g.N())
+	shared.Partition(k)
+	handlers := make([]proto.Handler, g.N())
+	for i := range handlers {
+		handlers[i] = flood.NewAt(shared, proto.NodeID(i))
+	}
+	payload := []byte{0, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sightings int
+	for i := 0; i < b.N; i++ {
+		net.Reset(uint64(i + 1))
+		shared.Reset()
+		obs.Reset(corrupted)
+		net.SetHandlers(func(id proto.NodeID) proto.Handler { return handlers[id] })
+		net.Start()
+		payload[0], payload[1] = byte(i), byte(i>>8)
+		id, err := net.Originate(0, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Run(0)
+		sightings = len(obs.Observations(id))
+	}
+	b.StopTimer()
+	if k > 1 && net.ShardCount() != k {
+		b.Fatalf("resolved to %d shards, want %d (taps must not clamp)", net.ShardCount(), k)
+	}
+	if sightings == 0 {
+		b.Fatal("observer recorded no sightings; tap stream lost")
+	}
+	b.ReportMetric(float64(sightings), "sightings")
+}
+
+func BenchmarkShardedTappedFlood1(b *testing.B) { benchShardedTappedFlood(b, 1) }
+func BenchmarkShardedTappedFlood4(b *testing.B) { benchShardedTappedFlood(b, 4) }
 
 // BenchmarkE15Robustness runs the netem sweep (quick mode: 2 trials per
 // protocol × condition) and reports headline robustness numbers:

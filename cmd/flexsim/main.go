@@ -12,10 +12,11 @@
 //
 // -shards additionally splits each trial's event loop across K
 // conservatively synchronized shards on the experiments that support
-// in-run parallelism (e1, e14); tables stay bit-identical at any shard
-// count. When -par is left at its default, the cores split between the
-// two axes: par = max(1, GOMAXPROCS/shards). -v prints per-shard event
-// counts and lookahead stalls, and -cpuprofile/-memprofile/-trace
+// in-run parallelism (e1, e14, and the tapped e16 spy sweep); tables
+// stay bit-identical at any shard count. When -par is left at its
+// default, the cores split between the two axes: par = max(1,
+// GOMAXPROCS/shards). -v prints per-shard event counts, lookahead
+// stalls, and resolved shard counts, and -cpuprofile/-memprofile/-trace
 // capture pprof/trace artifacts of the whole run.
 //
 // Usage:

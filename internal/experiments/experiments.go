@@ -45,10 +45,12 @@ type Scenario struct {
 	Par int
 	// Shards partitions each trial network across per-shard event loops
 	// (`flexsim -shards`) on the experiments that support in-run
-	// parallelism (e1, e14 — the city-scale sweeps). Tables are
-	// bit-identical at every setting (TestShardedGoldenTables); networks
-	// whose configuration cannot shard safely clamp to one loop. 0 or 1
-	// keeps the single event loop.
+	// parallelism (e1, e14 — the city-scale sweeps — and the tapped e16
+	// spy sweep, whose observers replay from the merged per-shard
+	// observation logs). Tables are bit-identical at every setting
+	// (TestShardedGoldenTables); networks whose configuration cannot
+	// shard safely clamp to one loop. 0 or 1 keeps the single event
+	// loop.
 	Shards int
 	// Verbose emits per-shard diagnostics (event counts, lookahead
 	// stalls, cross-shard handoffs) to stderr on sharded experiments

@@ -132,6 +132,17 @@ type Engine struct {
 	ctlSeq uint32 // per-engine counter for control events (src = ctlSrc)
 	steps  uint64
 
+	// curTag/curSub identify the event currently being dispatched: the
+	// packed ordering tag of the executing event and a counter over the
+	// observation callbacks it has emitted so far. Together with e.now
+	// they form the key the sharded observation log (obs.go) orders
+	// entries by, so the merged tap stream replays in exactly the
+	// single-loop order. Maintained unconditionally — two word stores
+	// per event — because the network cannot know at dispatch time
+	// whether a tap will be registered later in the run.
+	curTag uint64
+	curSub uint32
+
 	blocks []*arenaBlock
 	next   int32   // first never-used slot index
 	free   []int32 // recycled arena slots
@@ -149,6 +160,7 @@ func NewEngine() *Engine { return &Engine{} }
 // an unrelated new event).
 func (e *Engine) Reset() {
 	e.now, e.ctlSeq, e.steps = 0, 0, 0
+	e.curTag, e.curSub = 0, 0
 	e.heap = e.heap[:0]
 	e.free = e.free[:0]
 	// Zero the used prefix of the arena: drops message/payload references
@@ -290,6 +302,13 @@ func (e *Engine) scheduleTimer(delay time.Duration, node *simNode, id proto.Time
 	if delay < 0 {
 		delay = 0
 	}
+	if delay == 0 {
+		// A same-instant child may carry a smaller ordering tag than the
+		// event creating it; mark the creator in the observation log so
+		// the barrier merge replays taps in true execution order
+		// (see the availability invariant in obs.go).
+		node.net.tapMark(node)
+	}
 	node.schedSeq++
 	idx := e.scheduleAt(e.now+delay, evKey{src: node.id, seq: node.schedSeq})
 	ev := e.slot(idx)
@@ -388,6 +407,7 @@ func (e *Engine) step(root heapEntry) bool {
 		return false
 	}
 	e.now = root.at
+	e.curTag, e.curSub = root.tag, 0
 	// Copy the payload out and recycle the slot before dispatching:
 	// the callback may schedule new events that reuse it.
 	kind := ev.kind
@@ -403,9 +423,12 @@ func (e *Engine) step(root heapEntry) bool {
 			// Delivery-side taps fire here, in the engine's dispatch,
 			// so both the single-loop and sharded send paths (whose
 			// cross-shard outboxes funnel through scheduleDeliver into
-			// this case) report arrivals identically.
-			for _, tap := range node.net.taps {
-				tap.OnReceive(root.at, src, node.id, msg)
+			// this case) report arrivals identically. Under a sharded
+			// run the observation is parked in the shard's log and
+			// replayed in merged global order at the next barrier
+			// (obs.go).
+			if net := node.net; len(net.taps) > 0 {
+				net.tapRecv(node, root.at, src, msg)
 			}
 			node.handler.HandleMessage(node, src, msg)
 		}

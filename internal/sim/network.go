@@ -14,9 +14,12 @@ import (
 
 // Tap observes network activity without being able to influence it; the
 // adversary framework and experiment tracers are Taps. Callbacks run
-// synchronously inside the event loop and must not mutate the network.
-// Registering a tap pins the network to a single shard (taps observe a
-// globally ordered event stream, which only one loop can produce).
+// synchronously on the driving goroutine and must not mutate the
+// network. Taps observe one globally ordered event stream at any shard
+// count: a single loop fires them inline, a sharded run parks each
+// observation in the executing shard's log and replays the k-way merge
+// into the taps at every window barrier, in exactly the single-loop
+// order (see obs.go).
 type Tap interface {
 	// OnSend fires when a message is handed to the network by from —
 	// before the netem shaper's drop/delay decision, so it sees every
@@ -66,12 +69,13 @@ type Options struct {
 	// owning a private event loop, and the loops advance together under
 	// conservative lookahead = the minimum possible link delay. Every
 	// observable — counters, delivery sets, event counts, golden tables —
-	// is bit-identical at any shard count. The effective count is
-	// resolved at Start and clamps to 1 whenever sharding cannot be
-	// deterministic: registered taps, DropRate > 0, a latency model that
-	// draws from the shared RNG stream (or implements no Lookaheader),
-	// a zero minimum delay, or more shards than nodes. ≤ 1 means
-	// single-shard (the default).
+	// is bit-identical at any shard count — including the tap callback
+	// stream, which replays from merged per-shard observation logs
+	// (obs.go). The effective count is resolved at Start and clamps to 1
+	// whenever sharding cannot be deterministic: DropRate > 0, a latency
+	// model that draws from the shared RNG stream (or implements no
+	// Lookaheader), a zero minimum delay, or more shards than nodes.
+	// ≤ 1 means single-shard (the default).
 	Shards int
 }
 
@@ -186,6 +190,16 @@ type Network struct {
 	engCache  []*Engine
 	lookahead time.Duration
 
+	// windowing is true only while runWindow executes shard goroutines;
+	// the tap plumbing branches on it to park observations in the shard
+	// logs instead of firing directly (set before the goroutines spawn
+	// and cleared after the barrier join, so every read is ordered).
+	// ctlSeq is the network-level control-event counter sharded runs key
+	// on (scheduleCtl); obsCur is merge-cursor scratch for replayObs.
+	windowing bool
+	ctlSeq    uint32
+	obsCur    []int
+
 	deliveries map[proto.MsgID]*DeliverySet
 	started    bool
 }
@@ -285,6 +299,7 @@ func (n *Network) Reset(seed uint64) {
 		clear(node.timers)
 		node.extra = node.extra[:0]
 	}
+	n.ctlSeq = 0
 	n.started = false
 }
 
@@ -325,8 +340,12 @@ func (n *Network) ShardCount() int { return len(n.shards) }
 // advances under (0 when unsharded).
 func (n *Network) Lookahead() time.Duration { return n.lookahead }
 
-// AddTap registers an observer. Must be called before Start. A network
-// with taps always runs single-shard.
+// AddTap registers an observer. Taps may be registered at any point the
+// driver holds the network (before Start or between runs — never from
+// inside a callback); a tap added mid-run observes everything from the
+// next Run/RunUntil call onward. Registration does not affect the shard
+// layout: tapped runs execute at the requested shard count and the tap
+// sees the merged single-loop-order stream (obs.go).
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 
 // ClearTaps removes all registered taps — the trial-reuse form: a worker
@@ -368,21 +387,43 @@ func (n *Network) Start() {
 	// Inject the seeded churn schedule through the event loop: the
 	// schedule is a pure function of (profile, N, seed), so a reset
 	// network replays the identical crash/rejoin sequence. Each event is
-	// scheduled on its target node's shard, keyed to that engine's
-	// control stream — control events sort ahead of same-instant node
-	// events, preserving the crash-before-delivery order of the
-	// single-loop engine.
+	// scheduled on its target node's shard via the control stream —
+	// control events sort ahead of same-instant node events, preserving
+	// the crash-before-delivery order of the single-loop engine.
 	if n.opts.Netem != nil {
 		for _, ev := range n.opts.Netem.Churn.Events(len(n.nodes), n.opts.Seed) {
 			id := ev.Node
-			eng := n.nodes[id].eng
 			if ev.Up {
-				eng.Schedule(ev.At-eng.Now(), func() { n.Restore(id) })
+				n.scheduleCtl(n.nodes[id].eng, ev.At, func() { n.Restore(id) })
 			} else {
-				eng.Schedule(ev.At-eng.Now(), func() { n.Crash(id) })
+				n.scheduleCtl(n.nodes[id].eng, ev.At, func() { n.Crash(id) })
 			}
 		}
 	}
+}
+
+// scheduleCtl schedules a control closure at absolute virtual time at on
+// the given engine. Single-loop networks delegate to Engine.Schedule —
+// byte-identical to the historical path. Sharded networks key the event
+// to a network-level control counter instead of the engine's own:
+// per-engine counters could assign the same (at, ctlSrc, seq) key on two
+// shards, and the observation merge (obs.go) needs control keys to be
+// globally unique and to reproduce exactly the sequence a single loop
+// would have assigned — which one shared counter in schedule-call order
+// does. Negative relative times clamp to now, as Engine.Schedule does.
+func (n *Network) scheduleCtl(eng *Engine, at time.Duration, fn func()) {
+	if len(n.shards) == 1 {
+		eng.Schedule(at-eng.Now(), fn)
+		return
+	}
+	if at < eng.now {
+		at = eng.now
+	}
+	n.ctlSeq++
+	idx := eng.scheduleAt(at, evKey{src: ctlSrc, seq: n.ctlSeq})
+	ev := eng.slot(idx)
+	ev.kind = evFunc
+	ev.fn = fn
 }
 
 // Run drains the event queue (maxEvents ≤ 0: unbounded) and returns the
@@ -425,7 +466,7 @@ func (n *Network) Originate(at proto.NodeID, payload []byte) (proto.MsgID, error
 // internals.
 func (n *Network) InjectTimer(id proto.NodeID, payload any) {
 	node := &n.nodes[id]
-	node.eng.Schedule(0, func() {
+	n.scheduleCtl(node.eng, node.eng.Now(), func() {
 		if node.crashed {
 			return
 		}
@@ -437,16 +478,16 @@ func (n *Network) InjectTimer(id proto.NodeID, payload any) {
 // virtual time at — the arrival-injection hook of the workload engine:
 // a whole arrival schedule is installed up front (like the netem churn
 // schedule) and each event fires on its target node's shard engine.
-// Injected events ride the engine's control stream, which sorts ahead
-// of same-instant node events, and successive InjectTimerAt calls for
-// one engine preserve their call order at equal times — so a schedule
-// installed in deterministic order replays identically at any shard
-// count. Events for crashed nodes are silently skipped at fire time.
-// Must be called after Start (times are relative to a running clock)
-// and with at >= the node's current time.
+// Injected events ride the control stream, which sorts ahead of
+// same-instant node events, and successive InjectTimerAt calls preserve
+// their call order at equal times — so a schedule installed in
+// deterministic order replays identically at any shard count. Events
+// for crashed nodes are silently skipped at fire time. Must be called
+// after Start (times are relative to a running clock) and with at >=
+// the node's current time.
 func (n *Network) InjectTimerAt(at time.Duration, id proto.NodeID, payload any) {
 	node := &n.nodes[id]
-	node.eng.Schedule(at-node.eng.Now(), func() {
+	n.scheduleCtl(node.eng, at, func() {
 		if node.crashed {
 			return
 		}
@@ -620,9 +661,24 @@ func (n *Network) mergeDeliveries() {
 
 func (n *Network) recordDelivery(node *simNode, at time.Duration, id proto.MsgID, payload []byte) {
 	if len(n.shards) > 1 {
-		sh := node.shard
-		sh.delivLog = append(sh.delivLog, delivEntry{id: id, node: node.id, at: at})
-		return
+		if len(n.taps) == 0 {
+			sh := node.shard
+			sh.delivLog = append(sh.delivLog, delivEntry{id: id, node: node.id, at: at})
+			return
+		}
+		if n.windowing {
+			// Tapped window: the delivery rides the observation log so
+			// OnDeliverLocal replays in merged global order; the canonical
+			// map is updated at replay (fireObs), not here.
+			logObs(node, obsEntry{kind: obsDeliver, to: node.id, id: id, payload: payload})
+			return
+		}
+		// Tapped driver-phase delivery (Originate at the origin, handler
+		// calls between runs): fall through to fire the taps directly in
+		// call order — its single-loop stream position — and write the
+		// canonical map, folding any parked logs first so "first delivery
+		// wins" compares against everything already run.
+		n.mergeDeliveries()
 	}
 	d := n.deliverySet(id)
 	if d.times[node.id] >= 0 {
@@ -675,8 +731,8 @@ func (n *Network) send(from *simNode, to proto.NodeID, msg proto.Message) {
 		}
 	}
 	now := from.eng.Now()
-	for _, tap := range n.taps {
-		tap.OnSend(now, from.id, to, msg)
+	if len(n.taps) > 0 {
+		n.tapSend(from, now, to, msg)
 	}
 	var delay time.Duration
 	slot, streams := n.linkSlot(from, to)

@@ -72,9 +72,17 @@ type shardState struct {
 	totalByte    int64
 	netemDropped int64
 
-	// delivLog is the append-only DeliverLocal record (sharded runs
-	// only; single-shard networks write the canonical map directly).
+	// delivLog is the append-only DeliverLocal record (untapped sharded
+	// runs only; single-shard networks write the canonical map directly,
+	// and tapped sharded runs record deliveries in obsLog instead so
+	// OnDeliverLocal replays in merged order).
 	delivLog []delivEntry
+
+	// obsLog is the shard's observation log: tap callbacks (and
+	// availability markers) parked during a window, keyed by the
+	// executing event, k-way merged and replayed into the taps at the
+	// barrier (obs.go). Bounded by one window's events.
+	obsLog []obsEntry
 
 	// outQ[j] holds deliveries destined for shard j, drained at the next
 	// barrier. outQ[index] stays empty.
@@ -114,6 +122,8 @@ func (sh *shardState) reset() {
 	sh.eng.Reset()
 	sh.resetCounters()
 	sh.delivLog = sh.delivLog[:0]
+	clear(sh.obsLog) // drop message/payload references
+	sh.obsLog = sh.obsLog[:0]
 	for i := range sh.outQ {
 		sh.outQ[i] = sh.outQ[i][:0]
 	}
@@ -156,7 +166,6 @@ const reserveCap = 1 << 18
 // (re)builds the shard layout. Sharding engages only when it cannot
 // change observable behavior:
 //
-//   - no taps (they observe one globally ordered stream);
 //   - no DropRate (drop decisions draw from one shared RNG in send
 //     order);
 //   - a latency source with a positive minimum delay that never draws
@@ -164,12 +173,14 @@ const reserveCap = 1 << 18
 //     construction, rng-mode models only via Lookaheader with ok=true;
 //   - at least as many nodes as shards.
 //
+// Registered taps do not clamp: the per-shard observation logs replay
+// the merged single-loop callback stream at every barrier (obs.go).
 // Everything else clamps to a single shard — the same events then run on
 // the same engine they always did.
 func (n *Network) resolveShards() {
 	k := n.opts.Shards
 	la := time.Duration(0)
-	ok := k > 1 && len(n.taps) == 0 && n.opts.DropRate == 0 && len(n.nodes) >= k
+	ok := k > 1 && n.opts.DropRate == 0 && len(n.nodes) >= k
 	if ok {
 		if n.shaper != nil {
 			la = n.opts.Netem.MinDelay()
@@ -187,17 +198,26 @@ func (n *Network) resolveShards() {
 	}
 	n.lookahead = la
 	n.buildShards(k)
-	// Pre-size each heap for the expected concurrent event population:
-	// every in-range node with one in-flight message per link is the
-	// flood worst case, so nodes/k × (avg degree + 1) is the right
-	// order; the cap keeps small trial networks cheap.
-	perShard := (len(n.nodes)/k + 1) * (int(n.topo.AvgDegree()) + 1)
-	if perShard > reserveCap {
-		perShard = reserveCap
-	}
+	perShard := shardReserveHint(len(n.nodes), k, n.topo.AvgDegree())
 	for _, sh := range n.shards {
 		sh.eng.Reserve(perShard)
 	}
+}
+
+// shardReserveHint sizes each shard heap for the expected concurrent
+// event population: every in-range node with one in-flight message per
+// link is the flood worst case, so nodes/k × (avg degree + 1) is the
+// right order. The average degree rounds up — truncating would
+// under-reserve every near-regular graph with a fractional average
+// (e.g. 7.9 → 7) and put the flood peak on the heap re-grow path. The
+// cap keeps small trial networks cheap (Reserve is a hint, not a
+// ceiling).
+func shardReserveHint(nodes, k int, avgDegree float64) int {
+	perShard := (nodes/k + 1) * (int(math.Ceil(avgDegree)) + 1)
+	if perShard > reserveCap {
+		perShard = reserveCap
+	}
+	return perShard
 }
 
 // buildShards lays out k shards over the node ranges, reusing cached
@@ -280,6 +300,11 @@ func (n *Network) runSharded(deadline time.Duration) uint64 {
 			}
 		}
 		total += n.runWindow(horizon)
+		// Replay the window's parked observations into the taps before
+		// anything else (including the next window) can run: the merge
+		// needs all shards idle, and replaying per window keeps the logs
+		// bounded.
+		n.replayObs()
 	}
 	// Synchronize clocks so post-run scheduling (Originate, InjectTimer,
 	// the next RunUntil) keys off one well-defined time at every shard.
@@ -304,6 +329,7 @@ func (n *Network) runSharded(deadline time.Duration) uint64 {
 // concurrently and returns the number of events executed.
 func (n *Network) runWindow(horizon time.Duration) uint64 {
 	ran := make([]uint64, len(n.shards))
+	n.windowing = true
 	var wg sync.WaitGroup
 	for i, sh := range n.shards[1:] {
 		wg.Add(1)
@@ -314,6 +340,7 @@ func (n *Network) runWindow(horizon time.Duration) uint64 {
 	}
 	ran[0] = n.shards[0].eng.runBefore(horizon)
 	wg.Wait()
+	n.windowing = false
 	var total uint64
 	for i, sh := range n.shards {
 		sh.windows++

@@ -113,8 +113,7 @@ func TestShardedDeterminism(t *testing.T) {
 	}
 }
 
-// nopTap is the cheapest possible observer — registering it must still
-// pin the network to one shard.
+// nopTap is the cheapest possible observer.
 type nopTap struct{}
 
 func (nopTap) OnSend(time.Duration, proto.NodeID, proto.NodeID, proto.Message)    {}
@@ -123,25 +122,28 @@ func (nopTap) OnDeliverLocal(time.Duration, proto.NodeID, proto.MsgID, []byte)  
 
 // TestShardedClampsToSingleLoop pins the eligibility rules: any
 // configuration whose draws depend on global event order (shared-RNG
-// jitter, drop decisions) or that observes the global stream (taps)
-// must fall back to the single event loop rather than shard unsafely.
+// jitter, drop decisions) must fall back to the single event loop
+// rather than shard unsafely. Registered taps no longer clamp — they
+// replay from the merged observation logs (obs.go) — which the "taps"
+// case pins from the other direction.
 func TestShardedClampsToSingleLoop(t *testing.T) {
 	g := shardTestGraph(t)
 
 	cases := []struct {
-		name string
-		opts Options
-		prep func(*Network)
+		name  string
+		opts  Options
+		prep  func(*Network)
+		wantK int
 	}{
 		{"uniform-latency-shared-rng", Options{Seed: 1, Shards: 4,
-			Latency: UniformLatency{Min: 5 * time.Millisecond, Max: 40 * time.Millisecond}}, nil},
+			Latency: UniformLatency{Min: 5 * time.Millisecond, Max: 40 * time.Millisecond}}, nil, 1},
 		{"drop-rate", Options{Seed: 1, Shards: 4,
-			Latency: ConstLatency(50 * time.Millisecond), DropRate: 0.05}, nil},
+			Latency: ConstLatency(50 * time.Millisecond), DropRate: 0.05}, nil, 1},
 		{"taps", Options{Seed: 1, Shards: 4,
 			Latency: ConstLatency(50 * time.Millisecond)},
-			func(n *Network) { n.AddTap(nopTap{}) }},
+			func(n *Network) { n.AddTap(nopTap{}) }, 4},
 		{"more-shards-than-nodes", Options{Seed: 1, Shards: 500,
-			Latency: ConstLatency(50 * time.Millisecond)}, nil},
+			Latency: ConstLatency(50 * time.Millisecond)}, nil, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -151,10 +153,81 @@ func TestShardedClampsToSingleLoop(t *testing.T) {
 				tc.prep(net)
 			}
 			net.Start()
-			if k := net.ShardCount(); k != 1 {
-				t.Fatalf("config %s sharded into %d loops; must clamp to 1", tc.name, k)
+			if k := net.ShardCount(); k != tc.wantK {
+				t.Fatalf("config %s resolved to %d loops; want %d", tc.name, k, tc.wantK)
 			}
 		})
+	}
+}
+
+// TestShardReserveHint pins the heap pre-sizing to the flood worst case:
+// the average degree rounds up, so a fractional average (7.9 on a
+// near-regular graph) reserves for degree 8, not a truncated 7.
+func TestShardReserveHint(t *testing.T) {
+	if got, want := shardReserveHint(100, 4, 7.9), (100/4+1)*(8+1); got != want {
+		t.Errorf("shardReserveHint(100, 4, 7.9) = %d, want %d (ceil degree)", got, want)
+	}
+	if got, want := shardReserveHint(203, 7, 8.0), (203/7+1)*(8+1); got != want {
+		t.Errorf("shardReserveHint(203, 7, 8.0) = %d, want %d", got, want)
+	}
+	if got := shardReserveHint(1<<22, 2, 8.0); got != reserveCap {
+		t.Errorf("shardReserveHint cap = %d, want %d", got, reserveCap)
+	}
+
+	// The hint must actually cover a flood's concurrent event population:
+	// after a full sharded flood no shard heap may have outgrown its
+	// Reserve (re-grow doubles capacity, so cap == hint proves it).
+	g := shardTestGraph(t)
+	opts := Options{Seed: 7, Latency: ConstLatency(50 * time.Millisecond), Shards: 4}
+	net := NewNetwork(g, opts)
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+	net.Start()
+	if _, err := net.Originate(3, []byte("reserve probe")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	hint := shardReserveHint(g.N(), net.ShardCount(), g.AvgDegree())
+	for i, sh := range net.shards {
+		if cap(sh.eng.heap) != hint {
+			t.Errorf("shard %d heap cap %d != Reserve hint %d (re-grow on the hot path)", i, cap(sh.eng.heap), hint)
+		}
+	}
+}
+
+// TestShardStatsResetToZero pins the reuse contract for the -v
+// diagnostics: every ShardStats field must zero on Reset, so a reused
+// trial network reports per-trial numbers, not accumulated ones.
+func TestShardStatsResetToZero(t *testing.T) {
+	g := shardTestGraph(t)
+	net := NewNetwork(g, Options{Seed: 42, Latency: ConstLatency(50 * time.Millisecond), Shards: 4})
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+	net.Start()
+	if _, err := net.Originate(3, []byte("stats probe")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	for _, st := range net.ShardStats() {
+		if st.Events == 0 || st.Windows == 0 || st.Clock == 0 {
+			t.Fatalf("degenerate pre-reset stats: %+v", st)
+		}
+	}
+	net.Reset(42)
+	for _, st := range net.ShardStats() {
+		if st.Events != 0 || st.Windows != 0 || st.Stalls != 0 || st.Handoffs != 0 || st.Clock != 0 {
+			t.Errorf("shard %d stats survived Reset: %+v", st.Shard, st)
+		}
+	}
+	// And the reused network must still run correctly afterwards.
+	net.SetHandlers(func(proto.NodeID) proto.Handler { return flood.New() })
+	net.Start()
+	if _, err := net.Originate(3, []byte("stats probe")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	for _, st := range net.ShardStats() {
+		if st.Events == 0 || st.Windows == 0 {
+			t.Fatalf("degenerate post-reset stats: %+v", st)
+		}
 	}
 }
 
